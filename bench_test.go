@@ -1,0 +1,260 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (HotNets '24, §4) plus micro-benchmarks of the hot paths. Each
+// figure benchmark runs the full experiment and reports its headline
+// metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's artifacts from a clean checkout. EXPERIMENTS.md
+// records paper-vs-measured values.
+package slate_test
+
+import (
+	"testing"
+	"time"
+
+	slate "github.com/servicelayernetworking/slate"
+	"github.com/servicelayernetworking/slate/internal/experiments"
+	"github.com/servicelayernetworking/slate/internal/lp"
+	"github.com/servicelayernetworking/slate/internal/queuemodel"
+	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/sim"
+	"github.com/servicelayernetworking/slate/internal/telemetry"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+func benchOptions() experiments.Options {
+	return experiments.Options{Duration: 60 * time.Second, Warmup: 10 * time.Second, Seed: 42}
+}
+
+func runFigure(b *testing.B, f func(experiments.Options) (*experiments.Figure, error), metrics ...string) {
+	b.Helper()
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = f(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range metrics {
+		if v, ok := fig.Summary[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Fig. 3: the latency penalty of static
+// conservative/aggressive thresholds vs SLATE's load-dependent optimum.
+func BenchmarkFig3(b *testing.B) {
+	runFigure(b, experiments.Fig3,
+		"conservative_penalty_at_600rps_ms", "aggressive_penalty_at_740rps_ms")
+}
+
+// BenchmarkFig4 regenerates Fig. 4: the empirical routing threshold vs
+// west load at 5/25/50 ms RTT.
+func BenchmarkFig4(b *testing.B) {
+	runFigure(b, experiments.Fig4,
+		"offload_onset_rps_rtt5ms", "offload_onset_rps_rtt25ms", "offload_onset_rps_rtt50ms")
+}
+
+// BenchmarkFig6a regenerates Fig. 6a: latency CDF, west overloaded
+// ("how much to route").
+func BenchmarkFig6a(b *testing.B) {
+	runFigure(b, experiments.Fig6a,
+		"mean_latency_ratio_waterfall_over_slate", "slate_mean_ms", "waterfall_mean_ms")
+}
+
+// BenchmarkFig6b regenerates Fig. 6b: latency CDF on the GCP topology
+// with OR and IOW overloaded ("which cluster").
+func BenchmarkFig6b(b *testing.B) {
+	runFigure(b, experiments.Fig6b,
+		"mean_latency_ratio_waterfall_over_slate", "slate_mean_ms", "waterfall_mean_ms")
+}
+
+// BenchmarkFig6c regenerates Fig. 6c: the anomaly-detection multi-hop
+// scenario ("where in the topology"), including the egress-cost ratio.
+func BenchmarkFig6c(b *testing.B) {
+	runFigure(b, experiments.Fig6c,
+		"egress_ratio_waterfall_over_slate", "mean_latency_ratio_waterfall_over_slate")
+}
+
+// BenchmarkFig6d regenerates Fig. 6d: the two-class scenario ("which
+// subset of requests").
+func BenchmarkFig6d(b *testing.B) {
+	runFigure(b, experiments.Fig6d,
+		"mean_latency_ratio_waterfall_over_slate", "slate_mean_ms", "waterfall_mean_ms")
+}
+
+// BenchmarkHeadline regenerates the abstract's claims: max average
+// latency ratio and egress cost ratio vs Waterfall.
+func BenchmarkHeadline(b *testing.B) {
+	runFigure(b, experiments.Headline,
+		"max_mean_latency_ratio", "egress_ratio_fig6c")
+}
+
+// BenchmarkAblationThreshold sweeps Waterfall's static threshold
+// (DESIGN.md ablation: threshold sensitivity).
+func BenchmarkAblationThreshold(b *testing.B) {
+	runFigure(b, experiments.AblationWaterfallThreshold,
+		"slate_mean_ms", "waterfall_best_mean_ms", "waterfall_worst_mean_ms")
+}
+
+// BenchmarkAblationClasses compares per-class vs class-blind SLATE
+// (DESIGN.md ablation: traffic-class granularity).
+func BenchmarkAblationClasses(b *testing.B) {
+	runFigure(b, experiments.AblationClassGranularity, "classblind_over_perclass")
+}
+
+// BenchmarkAblationStepSize sweeps the rollout step bound (DESIGN.md
+// ablation: incremental rollout).
+func BenchmarkAblationStepSize(b *testing.B) {
+	runFigure(b, experiments.AblationStepSize)
+}
+
+// BenchmarkBurstReaction regenerates the burst-reaction timeline (the
+// paper's §2 motivation: request routing reacts far faster than
+// autoscaling).
+func BenchmarkBurstReaction(b *testing.B) {
+	runFigure(b, experiments.BurstReaction,
+		"slate_burst_mean_ms", "waterfall_burst_mean_ms", "local-only_burst_mean_ms")
+}
+
+// BenchmarkScalability regenerates the optimizer solve-time scaling
+// table (paper §5 "scalability & fast reaction").
+func BenchmarkScalability(b *testing.B) {
+	runFigure(b, experiments.Scalability,
+		"solve_ms_at_12_clusters", "solve_ms_at_16_services", "solve_ms_at_16_classes")
+}
+
+// BenchmarkAutoscalerInteraction regenerates the routing×autoscaling
+// co-design experiment (paper §5).
+func BenchmarkAutoscalerInteraction(b *testing.B) {
+	runFigure(b, experiments.AutoscalerInteraction,
+		"autoscaler-only_burst_mean_ms", "slate-only_burst_mean_ms",
+		"combined_burst_mean_ms", "scaling_suppression_ratio")
+}
+
+// --- Micro-benchmarks of the hot paths -------------------------------
+
+// BenchmarkOptimizerSolve measures one full LP build+solve for the
+// GCP-scale problem — the global controller's per-period cost
+// ("scalability & fast reaction", paper §5).
+func BenchmarkOptimizerSolve(b *testing.B) {
+	top := slate.GCPTopology()
+	app := slate.LinearChain(slate.ChainOptions{
+		Services:        3,
+		MeanServiceTime: 10 * time.Millisecond,
+		Pool:            slate.ReplicaPool{Replicas: 2, Concurrency: 4},
+		Clusters:        top.ClusterIDs(),
+	})
+	demand := slate.Demand{"default": {
+		slate.OR: 1000, slate.UT: 100, slate.IOW: 1000, slate.SC: 100,
+	}}
+	prob := &slate.Problem{
+		Top: top, App: app, Demand: demand,
+		Profiles: slate.DefaultProfiles(app, top, demand),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prob.Optimize(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimplexTransportation measures the raw LP solver on a dense
+// 20x20 transportation problem (400 variables).
+func BenchmarkSimplexTransportation(b *testing.B) {
+	build := func() *lp.Model {
+		m := lp.NewModel()
+		const n = 20
+		vars := make([][]lp.Var, n)
+		for i := range vars {
+			vars[i] = make([]lp.Var, n)
+			for j := range vars[i] {
+				vars[i][j] = m.AddVar("x", float64((i*7+j*13)%10+1))
+			}
+		}
+		for i := 0; i < n; i++ {
+			terms := make([]lp.Term, n)
+			for j := 0; j < n; j++ {
+				terms[j] = lp.Term{Var: vars[i][j], Coef: 1}
+			}
+			m.MustConstraint("s", terms, lp.EQ, 10)
+		}
+		for j := 0; j < n; j++ {
+			terms := make([]lp.Term, n)
+			for i := 0; i < n; i++ {
+				terms[i] = lp.Term{Var: vars[i][j], Coef: 1}
+			}
+			m.MustConstraint("d", terms, lp.EQ, 10)
+		}
+		return m
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := build().Solve()
+		if err != nil || sol.Status != lp.Optimal {
+			b.Fatalf("solve: %v %v", err, sol)
+		}
+	}
+}
+
+// BenchmarkDESThroughput measures raw simulation event throughput.
+func BenchmarkDESThroughput(b *testing.B) {
+	k := sim.NewKernel()
+	var fn func(*sim.Kernel)
+	n := 0
+	fn = func(kk *sim.Kernel) {
+		n++
+		if n < b.N {
+			kk.After(time.Microsecond, fn)
+		}
+	}
+	k.After(time.Microsecond, fn)
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkRoutingPick measures the data-plane hot path: rule lookup
+// plus weighted pick.
+func BenchmarkRoutingPick(b *testing.B) {
+	d, err := routing.NewDistribution(map[topology.ClusterID]float64{
+		"or": 0.4, "ut": 0.3, "iow": 0.2, "sc": 0.1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := routing.NewTable(1, map[routing.Key]routing.Distribution{
+		{Service: "svc", Class: "H", Cluster: "or"}: d,
+	})
+	rng := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist := tab.Lookup("svc", "H", "or")
+		if dist.Pick(rng.Float64()) == "" {
+			b.Fatal("empty pick")
+		}
+	}
+}
+
+// BenchmarkHistogramRecord measures telemetry ingestion on the request
+// path.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := telemetry.DefaultHistogram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%100) * time.Millisecond)
+	}
+}
+
+// BenchmarkMMcSojourn measures one latency-model evaluation (used in
+// rule extraction and PWL construction).
+func BenchmarkMMcSojourn(b *testing.B) {
+	m := queuemodel.MMc{Servers: 64, Mu: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.SojournSeconds(float64(i % 6000))
+	}
+}

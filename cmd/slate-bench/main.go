@@ -1,0 +1,75 @@
+// Command slate-bench regenerates the paper's evaluation artifacts:
+// every figure of the evaluation section plus the headline claims and
+// the repository's ablations, printed as plain-text series and summary
+// tables.
+//
+// Usage:
+//
+//	slate-bench -exp all
+//	slate-bench -exp fig6a -duration 120s -seed 7
+//	slate-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, fig6a..fig6d, headline, ablation-*) or \"all\"")
+		duration = flag.Duration("duration", 60*time.Second, "virtual measurement duration per run")
+		warmup   = flag.Duration("warmup", 10*time.Second, "virtual warmup excluded from results")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	all := experiments.All()
+	ids := make([]string, 0, len(all))
+	for id := range all {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := experiments.Options{Duration: *duration, Warmup: *warmup, Seed: *seed}
+	run := func(id string) error {
+		f, ok := all[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		fig, err := f(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		experiments.Render(os.Stdout, fig)
+		fmt.Println()
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, id := range ids {
+			if err := run(id); err != nil {
+				fmt.Fprintln(os.Stderr, "slate-bench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "slate-bench:", err)
+		os.Exit(1)
+	}
+}

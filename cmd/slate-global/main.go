@@ -1,0 +1,76 @@
+// Command slate-global runs the SLATE Global Controller daemon: it
+// accepts telemetry uploads from cluster controllers, periodically runs
+// the routing optimization, and pushes rule tables back down (paper
+// §3.3). The application model and topology come from a scenario file.
+//
+// Usage:
+//
+//	slate-global -scenario scenario.json -listen 127.0.0.1:7000 -period 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/controlplane"
+	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/scenario"
+)
+
+func main() {
+	var (
+		path       = flag.String("scenario", "", "scenario JSON file with topology and app (required)")
+		listen     = flag.String("listen", "127.0.0.1:7000", "HTTP listen address")
+		period     = flag.Duration("period", 5*time.Second, "optimization interval")
+		latWeight  = flag.Float64("latency-weight", 1, "objective weight for latency")
+		costWeight = flag.Float64("cost-weight", 0, "objective weight for egress cost")
+		maxStep    = flag.Float64("max-step", 0.25, "max traffic weight moved per period per rule")
+		learn      = flag.Bool("learn-profiles", true, "fit latency profiles from telemetry")
+		guard      = flag.Bool("guard", true, "revert rule changes that regress the measured objective")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "slate-global: -scenario is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	top, app, demand, err := scenario.Load(*path)
+	if err != nil {
+		log.Fatalf("slate-global: %v", err)
+	}
+	ctrl, err := core.NewController(top, app, core.ControllerConfig{
+		Optimizer:       core.Config{LatencyWeight: *latWeight, CostWeight: *costWeight},
+		MaxStep:         *maxStep,
+		LearnProfiles:   *learn,
+		GuardRegression: *guard,
+	})
+	if err != nil {
+		log.Fatalf("slate-global: %v", err)
+	}
+	if len(demand) > 0 {
+		ctrl.SetDemand(demand) // optional seed; telemetry refines it
+	}
+	g := controlplane.NewGlobal(ctrl)
+
+	stop := make(chan struct{})
+	go g.Run(*period, stop)
+	defer close(stop)
+
+	srv := &http.Server{Addr: *listen, Handler: g.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		srv.Close()
+	}()
+	log.Printf("slate-global: serving on %s (period %v, app %s, %d clusters)",
+		*listen, *period, app.Name, top.NumClusters())
+	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatalf("slate-global: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+// Command slatectl runs SLATE's global optimization over a scenario
+// file and prints the routing rules and predictions — the offline
+// "what would SLATE do" tool.
+//
+// Usage:
+//
+//	slatectl -scenario scenario.json
+//	slatectl -scenario scenario.json -cost-weight 1e4 -json
+//	slatectl -scenario scenario.json -policy waterfall -threshold 0.8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/servicelayernetworking/slate/internal/baseline"
+	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/scenario"
+)
+
+func main() {
+	var (
+		path       = flag.String("scenario", "", "scenario JSON file (required)")
+		latWeight  = flag.Float64("latency-weight", 1, "objective weight for latency")
+		costWeight = flag.Float64("cost-weight", 0, "objective weight for egress cost ($/s)")
+		policy     = flag.String("policy", "slate", "slate | waterfall | locality-failover")
+		threshold  = flag.Float64("threshold", 0.8, "waterfall threshold fraction of rated capacity")
+		asJSON     = flag.Bool("json", false, "emit the routing table as JSON")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "slatectl: -scenario is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	top, app, demand, err := scenario.Load(*path)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *policy {
+	case "slate":
+		prob := &core.Problem{
+			Top:      top,
+			App:      app,
+			Demand:   demand,
+			Profiles: core.DefaultProfiles(app, top, demand),
+			Config:   core.Config{LatencyWeight: *latWeight, CostWeight: *costWeight},
+		}
+		plan, err := prob.Optimize(1)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			json.NewEncoder(os.Stdout).Encode(plan.Table)
+			return
+		}
+		fmt.Print(plan.Table.String())
+		fmt.Printf("\nobjective: %.6f\n", plan.Objective)
+		fmt.Printf("planned egress: %.3f MB/s ($%.6f/s)\n",
+			plan.EgressBytesPerSecond/1e6, plan.EgressPerSecond)
+		classes := make([]string, 0, len(plan.PredictedMeanLatency))
+		for c := range plan.PredictedMeanLatency {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			fmt.Printf("predicted mean latency [%s]: %v\n", c, plan.PredictedMeanLatency[c])
+		}
+		fmt.Println("\nplanned pool loads:")
+		for _, l := range plan.Loads {
+			fmt.Printf("  %-24s %8.1f std-rps  util %5.1f%%  sojourn %v\n",
+				l.Key.String(), l.StdRPS, l.Utilization*100, l.PredictedSojourn)
+		}
+	case "waterfall":
+		caps := baseline.DefaultCapacities(app, top, demand, *threshold)
+		tab, err := baseline.Waterfall(top, app, demand, caps, 1)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			json.NewEncoder(os.Stdout).Encode(tab)
+			return
+		}
+		fmt.Print(tab.String())
+	case "locality-failover":
+		tab, err := baseline.LocalityFailover(top, app, 1)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			json.NewEncoder(os.Stdout).Encode(tab)
+			return
+		}
+		fmt.Print(tab.String())
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slatectl:", err)
+	os.Exit(1)
+}

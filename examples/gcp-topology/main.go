@@ -1,0 +1,103 @@
+// GCP topology: why greedy nearest-cluster spillover loses (paper §4.2).
+//
+// The paper's real four-cluster Google Cloud topology — Oregon, Utah,
+// Iowa, South Carolina with measured inter-region RTTs — with Oregon
+// and Iowa overloaded. Waterfall greedily spills both into Utah (the
+// nearest cluster to each) and saturates it while South Carolina idles;
+// SLATE solves the global matching and uses SC despite its higher RTT.
+//
+//	go run ./examples/gcp-topology
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	slate "github.com/servicelayernetworking/slate"
+)
+
+func main() {
+	top := slate.GCPTopology()
+	app := slate.LinearChain(slate.ChainOptions{
+		Services:        3,
+		MeanServiceTime: 10 * time.Millisecond,
+		Pool:            slate.ReplicaPool{Replicas: 2, Concurrency: 4},
+		Clusters:        top.ClusterIDs(),
+	})
+	demand := slate.Demand{"default": {
+		slate.OR: 1090, slate.UT: 100, slate.IOW: 1090, slate.SC: 100,
+	}}
+
+	scn := slate.Scenario{
+		Name: "gcp-or-iow-overload",
+		Top:  top,
+		App:  app,
+		Workload: []slate.WorkloadSpec{
+			slate.SteadyLoad("default", slate.OR, 1090),
+			slate.SteadyLoad("default", slate.UT, 100),
+			slate.SteadyLoad("default", slate.IOW, 1090),
+			slate.SteadyLoad("default", slate.SC, 100),
+		},
+		Duration: 60 * time.Second,
+		Warmup:   10 * time.Second,
+		Seed:     42,
+	}
+
+	// SLATE: primed global controller.
+	ctrl, err := slate.NewController(top, app, slate.ControllerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl.SetDemand(demand)
+	slateRes, err := slate.Run(scn, slate.SLATEPolicy(ctrl, true))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Waterfall: static thresholds at 95% of rated capacity.
+	caps := slate.DefaultCapacities(app, top, demand, 0.95)
+	wfCtrl, err := slate.NewWaterfallController(top, app, caps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wfCtrl.SetDemand(demand)
+	wfRes, err := slate.Run(scn, slate.WaterfallPolicy(wfCtrl, true))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Where does Oregon's overload go?")
+	fmt.Printf("  SLATE:     %s\n", ctrl.Table().Lookup("svc-1", "default", slate.OR))
+	fmt.Printf("  Waterfall: %s\n", wfCtrl.Table().Lookup("svc-1", "default", slate.OR))
+	fmt.Println("Where does Iowa's overload go?")
+	fmt.Printf("  SLATE:     %s\n", ctrl.Table().Lookup("svc-1", "default", slate.IOW))
+	fmt.Printf("  Waterfall: %s\n", wfCtrl.Table().Lookup("svc-1", "default", slate.IOW))
+
+	fmt.Printf("\nmean latency: SLATE %v vs Waterfall %v (%.2fx)\n",
+		slateRes.Mean.Round(time.Microsecond), wfRes.Mean.Round(time.Microsecond),
+		float64(wfRes.Mean)/float64(slateRes.Mean))
+	fmt.Printf("p99 latency:  SLATE %v vs Waterfall %v\n",
+		slateRes.P99.Round(time.Microsecond), wfRes.P99.Round(time.Microsecond))
+
+	fmt.Println("\nlatency CDF (ms : P<=x)   SLATE      WATERFALL")
+	sCDF, wCDF := slateRes.CDF(), wfRes.CDF()
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.9, 0.99} {
+		fmt.Printf("  p%-4.0f %12.1f %12.1f\n", q*100,
+			ms(atQuantile(sCDF, q)), ms(atQuantile(wCDF, q)))
+	}
+}
+
+func atQuantile(cdf []slate.CDFPoint, q float64) time.Duration {
+	for _, p := range cdf {
+		if p.Fraction >= q {
+			return p.Latency
+		}
+	}
+	if len(cdf) == 0 {
+		return 0
+	}
+	return cdf[len(cdf)-1].Latency
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

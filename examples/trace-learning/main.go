@@ -1,0 +1,130 @@
+// Trace learning: build the optimizer's application model from live
+// distributed traces instead of operator-declared call graphs.
+//
+// SLATE-proxies emit one span per proxied request (paper §3.1 "trace
+// information"). This example runs the loopback mesh, drives traffic,
+// drains the sidecars' spans, reconstructs the call tree, learns a
+// traffic class — structure, per-node exclusive service times, message
+// sizes, fan-out counts — and feeds the learned model straight into the
+// global optimizer. The declared model and the learned model produce
+// the same routing decisions.
+//
+//	go run ./examples/trace-learning
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	slate "github.com/servicelayernetworking/slate"
+)
+
+func main() {
+	top := slate.TwoClusters(40 * time.Millisecond)
+	declared := slate.AnomalyDetection(slate.AnomalyOptions{
+		MetricsBytes:  100_000,
+		ResponseRatio: 10,
+		FrontendTime:  500 * time.Microsecond,
+		ProcessTime:   4 * time.Millisecond,
+		QueryTime:     2 * time.Millisecond,
+		Pool:          slate.ReplicaPool{Replicas: 1, Concurrency: 8},
+	})
+
+	mesh, err := slate.StartMesh(slate.MeshOptions{
+		Top:        top,
+		App:        declared,
+		NetemScale: 0.1,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mesh.Close()
+
+	// Drive a little traffic so every sidecar sees requests.
+	if _, err := mesh.Drive(context.Background(), "detect", slate.East, 30, time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// Drain spans from every sidecar and group them by trace.
+	byTrace := map[slate.TraceID][]slate.Span{}
+	for _, svc := range []slate.ServiceID{slate.AnomalyFR, slate.AnomalyMP, slate.AnomalyDB} {
+		for _, cl := range []slate.ClusterID{slate.West, slate.East} {
+			p := mesh.Proxy(svc, cl)
+			if p == nil {
+				continue
+			}
+			for _, s := range p.DrainSpans() {
+				byTrace[s.Trace] = append(byTrace[s.Trace], s)
+			}
+		}
+	}
+	// Keep complete traces (all three hops present).
+	var traces [][]slate.Span
+	for _, spans := range byTrace {
+		if len(spans) == 3 {
+			traces = append(traces, spans)
+		}
+		if len(traces) == 20 {
+			break
+		}
+	}
+	if len(traces) == 0 {
+		log.Fatal("no complete traces collected")
+	}
+	fmt.Printf("collected %d complete traces from the sidecars\n", len(traces))
+
+	// Learn the class from the observed traces.
+	learned, err := slate.ClassFromTraces("detect", traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlearned call tree (from spans alone):")
+	printTree(learned.Root, "  ")
+
+	// Swap the learned class into the app model and optimize with it.
+	app := &slate.App{
+		Name:     "anomaly-learned",
+		Services: declared.Services,
+		Classes:  []*slate.Class{learned},
+	}
+	demand := slate.Demand{"detect": {slate.West: 600, slate.East: 100}}
+	learnedPlan, err := (&slate.Problem{
+		Top: top, App: app, Demand: demand,
+		Profiles: slate.DefaultProfiles(app, top, demand),
+		Config:   slate.OptimizerConfig{LatencyWeight: 1, CostWeight: 1e4},
+	}).Optimize(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	declaredPlan, err := (&slate.Problem{
+		Top: top, App: declared, Demand: demand,
+		Profiles: slate.DefaultProfiles(declared, top, demand),
+		Config:   slate.OptimizerConfig{LatencyWeight: 1, CostWeight: 1e4},
+	}).Optimize(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nrouting from the learned model:")
+	fmt.Print(learnedPlan.Table.String())
+	fmt.Println("routing from the declared model:")
+	fmt.Print(declaredPlan.Table.String())
+
+	lm := learnedPlan.Table.Lookup(string(slate.AnomalyMP), "detect", slate.West)
+	dm := declaredPlan.Table.Lookup(string(slate.AnomalyMP), "detect", slate.West)
+	fmt.Printf("\nMP offload from west: learned %.0f%%, declared %.0f%% east\n",
+		lm.Weight(slate.East)*100, dm.Weight(slate.East)*100)
+}
+
+func printTree(n *slate.CallNode, indent string) {
+	fmt.Printf("%s%s %s %s  work≈%v  req=%dB resp=%dB x%d\n",
+		indent, n.Service, n.Method, n.Path,
+		n.Work.MeanServiceTime.Round(100*time.Microsecond),
+		n.Work.RequestBytes, n.Work.ResponseBytes, n.Count)
+	for _, ch := range n.Children {
+		printTree(ch, indent+"  ")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/servicelayernetworking/slate
+
+go 1.24

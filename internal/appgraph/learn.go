@@ -1,0 +1,188 @@
+package appgraph
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/telemetry"
+)
+
+// FromTrace learns a traffic class's call tree from one reconstructed
+// distributed trace — the paper's data plane reports "trace
+// information" (§3.1) precisely so the controller can learn per-class
+// call graphs instead of requiring operators to declare them.
+//
+// Structure comes from span parentage; identical sibling calls (same
+// service, method, path) collapse into one CallNode with Count set to
+// their multiplicity; per-node Work is estimated as the span's
+// exclusive time (its duration minus its children's durations, clamped
+// at zero — a span's time waiting on children does not occupy a
+// worker), and request/response sizes copy the span byte counts.
+// Sibling calls whose execution windows overlap mark the parent
+// Parallel.
+func FromTrace(className string, spans []telemetry.Span) (*Class, error) {
+	tree, err := telemetry.BuildTree(spans)
+	if err != nil {
+		return nil, fmt.Errorf("appgraph: learning class %q: %w", className, err)
+	}
+	if len(tree.Orphans) > 0 {
+		return nil, fmt.Errorf("appgraph: learning class %q: trace has %d orphan spans", className, len(tree.Orphans))
+	}
+	root := learnNode(tree.Root)
+	return &Class{Name: className, Root: root}, nil
+}
+
+// FromTraces learns a class from several traces of the same request
+// type and averages the per-node work estimates. All traces must have
+// the same shape (same collapsed structure); traces that disagree are
+// rejected, mirroring the paper's observation that a meaningful class's
+// requests "should spawn the same child call graph".
+func FromTraces(className string, traces [][]telemetry.Span) (*Class, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("appgraph: learning class %q: no traces", className)
+	}
+	classes := make([]*Class, 0, len(traces))
+	for i, spans := range traces {
+		c, err := FromTrace(className, spans)
+		if err != nil {
+			return nil, fmt.Errorf("appgraph: trace %d: %w", i, err)
+		}
+		classes = append(classes, c)
+	}
+	base := classes[0]
+	baseShape := shapeString(base.Root)
+	for i, c := range classes[1:] {
+		if s := shapeString(c.Root); s != baseShape {
+			return nil, fmt.Errorf("appgraph: learning class %q: trace %d shape %q differs from %q — requests with different call graphs belong in different classes",
+				className, i+1, s, baseShape)
+		}
+	}
+	// Average work node by node (same DFS order by construction).
+	baseNodes := base.Nodes()
+	for _, c := range classes[1:] {
+		for i, n := range c.Nodes() {
+			b := baseNodes[i]
+			b.Work.MeanServiceTime += n.Work.MeanServiceTime
+			b.Work.RequestBytes += n.Work.RequestBytes
+			b.Work.ResponseBytes += n.Work.ResponseBytes
+		}
+	}
+	k := time.Duration(len(classes))
+	for _, b := range baseNodes {
+		b.Work.MeanServiceTime /= k
+		b.Work.RequestBytes /= int64(k)
+		b.Work.ResponseBytes /= int64(k)
+	}
+	return base, nil
+}
+
+func learnNode(tn *telemetry.TraceNode) *CallNode {
+	n := &CallNode{
+		Service: ServiceID(tn.Span.Service),
+		Method:  tn.Span.Method,
+		Path:    tn.Span.Path,
+		Count:   1,
+		Work: Work{
+			MeanServiceTime: exclusiveTime(tn),
+			Dist:            DistExponential,
+			RequestBytes:    tn.Span.ReqBytes,
+			ResponseBytes:   tn.Span.RespBytes,
+		},
+	}
+	// Group children by endpoint identity, preserving first-seen order.
+	type group struct {
+		key      string
+		children []*telemetry.TraceNode
+	}
+	var groups []*group
+	index := map[string]*group{}
+	for _, ch := range tn.Children {
+		key := ch.Span.Service + "|" + ch.Span.Method + " " + ch.Span.Path
+		g, ok := index[key]
+		if !ok {
+			g = &group{key: key}
+			index[key] = g
+			groups = append(groups, g)
+		}
+		g.children = append(g.children, ch)
+	}
+	for _, g := range groups {
+		child := learnNode(g.children[0])
+		child.Count = len(g.children)
+		if len(g.children) > 1 {
+			// Average repeated calls' work.
+			var sumT time.Duration
+			var sumReq, sumResp int64
+			for _, ch := range g.children {
+				sumT += exclusiveTime(ch)
+				sumReq += ch.Span.ReqBytes
+				sumResp += ch.Span.RespBytes
+			}
+			child.Work.MeanServiceTime = sumT / time.Duration(len(g.children))
+			child.Work.RequestBytes = sumReq / int64(len(g.children))
+			child.Work.ResponseBytes = sumResp / int64(len(g.children))
+		}
+		n.Children = append(n.Children, child)
+	}
+	n.Parallel = childrenOverlap(tn.Children)
+	return n
+}
+
+// exclusiveTime estimates the span's own busy time: duration minus the
+// union of its children's windows (clamped at zero).
+func exclusiveTime(tn *telemetry.TraceNode) time.Duration {
+	total := tn.Span.Latency()
+	if len(tn.Children) == 0 {
+		return total
+	}
+	// Merge child intervals to avoid double-subtracting overlaps.
+	type iv struct{ s, e time.Duration }
+	ivs := make([]iv, 0, len(tn.Children))
+	for _, ch := range tn.Children {
+		ivs = append(ivs, iv{ch.Span.Start, ch.Span.End})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+	var covered time.Duration
+	curS, curE := ivs[0].s, ivs[0].e
+	for _, v := range ivs[1:] {
+		if v.s <= curE {
+			if v.e > curE {
+				curE = v.e
+			}
+			continue
+		}
+		covered += curE - curS
+		curS, curE = v.s, v.e
+	}
+	covered += curE - curS
+	own := total - covered
+	if own < 0 {
+		own = 0
+	}
+	return own
+}
+
+// childrenOverlap reports whether any two child spans' execution
+// windows overlap in time (evidence of parallel fan-out).
+func childrenOverlap(children []*telemetry.TraceNode) bool {
+	for i := 0; i < len(children); i++ {
+		for j := i + 1; j < len(children); j++ {
+			a, b := children[i].Span, children[j].Span
+			if a.Start < b.End && b.Start < a.End {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// shapeString canonically encodes a call tree's structure (services,
+// endpoints, counts, nesting) for shape comparison.
+func shapeString(n *CallNode) string {
+	s := fmt.Sprintf("%s %s %s x%d(", n.Service, n.Method, n.Path, n.Count)
+	for _, ch := range n.Children {
+		s += shapeString(ch) + ","
+	}
+	return s + ")"
+}

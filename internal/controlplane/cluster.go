@@ -1,0 +1,224 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/dataplane"
+	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/telemetry"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// Cluster is the Cluster Controller daemon for one cluster: it
+// aggregates telemetry from the cluster's SLATE-proxies, tags it with
+// the cluster ID (instances don't know which cluster they belong to —
+// paper §3.2), relays it to the Global Controller, and fans rule pushes
+// out to every proxy.
+type Cluster struct {
+	id        topology.ClusterID
+	globalURL string
+
+	mu       sync.Mutex
+	proxies  []*dataplane.Proxy
+	ingested [][]telemetry.WindowStats
+	last     []telemetry.WindowStats
+	table    *routing.Table
+
+	client *http.Client
+}
+
+// NewCluster returns a cluster controller reporting to globalURL (may
+// be empty for in-process wiring where the caller pumps telemetry
+// itself).
+func NewCluster(id topology.ClusterID, globalURL string) *Cluster {
+	return &Cluster{
+		id:        id,
+		globalURL: globalURL,
+		table:     routing.EmptyTable(),
+		client:    &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// ID returns the controller's cluster.
+func (c *Cluster) ID() topology.ClusterID { return c.id }
+
+// AddProxy registers a local sidecar for telemetry collection and rule
+// distribution.
+func (c *Cluster) AddProxy(p *dataplane.Proxy) {
+	c.mu.Lock()
+	c.proxies = append(c.proxies, p)
+	p.SetTable(c.table)
+	c.mu.Unlock()
+}
+
+// Handler returns the daemon's HTTP API.
+func (c *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/rules", c.handleRules)
+	mux.HandleFunc("GET /v1/rules", c.handleGetRules)
+	mux.HandleFunc("POST /v1/metrics", c.handleMetrics)
+	mux.HandleFunc("GET /v1/stats", c.handleStats)
+	return mux
+}
+
+// handleGetRules serves the current table to out-of-process proxies
+// that poll for rules (in-process proxies get pushes via AddProxy).
+func (c *Cluster) handleGetRules(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(c.Table())
+}
+
+// handleMetrics accepts telemetry pushed by out-of-process proxies (the
+// standalone slate-cluster daemon path; in-process proxies are pulled
+// via AddProxy instead).
+func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var stats []telemetry.WindowStats
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.Ingest(stats)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// Ingest buffers externally pushed telemetry for the next Report.
+func (c *Cluster) Ingest(stats []telemetry.WindowStats) {
+	c.mu.Lock()
+	c.ingested = append(c.ingested, stats)
+	c.mu.Unlock()
+}
+
+func (c *Cluster) handleRules(w http.ResponseWriter, r *http.Request) {
+	var table routing.Table
+	if err := json.NewDecoder(r.Body).Decode(&table); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.ApplyTable(&table)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Cluster) handleStats(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	stats := c.last
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(stats)
+}
+
+// ApplyTable distributes a routing table to every registered proxy.
+func (c *Cluster) ApplyTable(t *routing.Table) {
+	c.mu.Lock()
+	c.table = t
+	proxies := append([]*dataplane.Proxy(nil), c.proxies...)
+	c.mu.Unlock()
+	for _, p := range proxies {
+		p.SetTable(t)
+	}
+}
+
+// LastStats returns the most recently collected window (for
+// introspection; also served at GET /v1/stats).
+func (c *Cluster) LastStats() []telemetry.WindowStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// Table returns the last applied routing table.
+func (c *Cluster) Table() *routing.Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.table
+}
+
+// Collect flushes every proxy's telemetry for the window, merges it,
+// and stamps the cluster ID onto every key (the proxies already tag
+// their own cluster, but the controller is authoritative — a proxy
+// cannot know its cluster in a real deployment).
+func (c *Cluster) Collect(window time.Duration) []telemetry.WindowStats {
+	c.mu.Lock()
+	proxies := append([]*dataplane.Proxy(nil), c.proxies...)
+	groups := c.ingested
+	c.ingested = nil
+	c.mu.Unlock()
+	for _, p := range proxies {
+		groups = append(groups, p.FlushTelemetry(window))
+	}
+	merged := telemetry.Merge(groups...)
+	for i := range merged {
+		merged[i].Key.Cluster = string(c.id)
+	}
+	c.mu.Lock()
+	c.last = merged
+	c.mu.Unlock()
+	return merged
+}
+
+// Report collects one window and uploads it to the global controller.
+func (c *Cluster) Report(window time.Duration) error {
+	stats := c.Collect(window)
+	if c.globalURL == "" {
+		return nil
+	}
+	body, err := json.Marshal(MetricsReport{
+		Cluster:  c.id,
+		WindowMS: window.Milliseconds(),
+		Stats:    stats,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Post(c.globalURL+"/v1/metrics", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("controlplane: report to global: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("controlplane: report to global: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Register announces this cluster controller (reachable at selfURL) to
+// the global controller.
+func (c *Cluster) Register(selfURL string) error {
+	if c.globalURL == "" {
+		return fmt.Errorf("controlplane: no global URL configured")
+	}
+	body, err := json.Marshal(RegisterRequest{Cluster: c.id, URL: selfURL})
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Post(c.globalURL+"/v1/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("controlplane: register: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Run reports telemetry every period until stop closes.
+func (c *Cluster) Run(period time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.Report(period) // errors visible to global via missing data
+		case <-stop:
+			return
+		}
+	}
+}

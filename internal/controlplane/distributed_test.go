@@ -1,0 +1,151 @@
+package controlplane
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/dataplane"
+	"github.com/servicelayernetworking/slate/internal/telemetry"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// TestFullyDistributedDeployment assembles the deployment shape of
+// cmd/slate-global + cmd/slate-cluster + cmd/slate-proxy: every
+// component only talks HTTP — proxies push telemetry to and poll rules
+// from their cluster controller via dataplane.Agent; cluster
+// controllers relay to the global controller; the global controller
+// optimizes and pushes tables down. No in-process shortcuts.
+func TestFullyDistributedDeployment(t *testing.T) {
+	top := topology.TwoClusters(40 * time.Millisecond)
+	app := chainApp()
+	ctrl, err := core.NewController(top, app, core.ControllerConfig{DemandSmoothing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGlobal(ctrl)
+	gsrv := httptest.NewServer(g.Handler())
+	defer gsrv.Close()
+
+	type clusterRig struct {
+		cc    *Cluster
+		ccURL string
+	}
+	mkCluster := func(id topology.ClusterID) clusterRig {
+		cc := NewCluster(id, gsrv.URL)
+		srv := httptest.NewServer(cc.Handler())
+		t.Cleanup(srv.Close)
+		if err := cc.Register(srv.URL); err != nil {
+			t.Fatal(err)
+		}
+		return clusterRig{cc: cc, ccURL: srv.URL}
+	}
+	west := mkCluster(topology.West)
+	east := mkCluster(topology.East)
+
+	// A standalone gateway proxy per cluster, wired only by URL.
+	resolver := &memResolver{m: map[string]string{}}
+	mkProxy := func(cl topology.ClusterID, ccURL string) (*dataplane.Proxy, *dataplane.Agent) {
+		appSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "ok")
+		}))
+		t.Cleanup(appSrv.Close)
+		p, err := dataplane.New(dataplane.Config{
+			Service: "gateway", Cluster: cl, LocalApp: appSrv.URL, Resolver: resolver,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		psrv := httptest.NewServer(p)
+		t.Cleanup(psrv.Close)
+		resolver.add("gateway", cl, psrv.URL)
+		agent, err := dataplane.NewAgent(p, ccURL, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, agent
+	}
+	pW, aW := mkProxy(topology.West, west.ccURL)
+	_, aE := mkProxy(topology.East, east.ccURL)
+
+	// Simulate one telemetry window: the proxies saw overload-shaped
+	// traffic (west hot). Inject via the proxies' own aggregation by
+	// issuing classified requests — here we shortcut with direct ingest
+	// into the cluster controllers only for volume, while the proxies
+	// push their genuine (small) telemetry through their agents.
+	west.cc.Ingest([]telemetry.WindowStats{{
+		Key: telemetry.MetricKey{Service: "gateway", Class: "default", Cluster: string(topology.West)},
+		RPS: 900, Requests: 900, MeanLatency: 60 * time.Millisecond, Window: time.Second,
+	}})
+	east.cc.Ingest([]telemetry.WindowStats{{
+		Key: telemetry.MetricKey{Service: "gateway", Class: "default", Cluster: string(topology.East)},
+		RPS: 100, Requests: 100, MeanLatency: 20 * time.Millisecond, Window: time.Second,
+	}})
+
+	// One control round: agents sync (push + poll), cluster controllers
+	// report, global optimizes and pushes down, agents poll the result.
+	if err := aW.Sync(); err != nil {
+		t.Fatalf("west agent: %v", err)
+	}
+	if err := aE.Sync(); err != nil {
+		t.Fatalf("east agent: %v", err)
+	}
+	if err := west.cc.Report(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := east.cc.Report(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Tick(); err != nil {
+		t.Fatalf("global tick: %v", err)
+	}
+	if err := aW.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The west standalone proxy must now hold offload rules, received
+	// purely over HTTP.
+	if pW.TableVersion() == 0 {
+		t.Fatal("west proxy never received rules over the wire")
+	}
+	d := pW.Table().Lookup("svc-1", "default", topology.West)
+	if d.Weight(topology.East) <= 0 {
+		t.Errorf("west proxy rule has no offload: %v", d)
+	}
+
+	// Global status reflects both clusters and the learned demand.
+	resp, err := http.Get(gsrv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := ctrl.Demand()["default"][topology.West]; got < 800 {
+		t.Errorf("global demand west = %v, want ~900", got)
+	}
+}
+
+type memResolver struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+func (r *memResolver) add(svc string, cl topology.ClusterID, url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[svc+"@"+string(cl)] = url
+}
+
+func (r *memResolver) Resolve(svc string, cl topology.ClusterID) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if u, ok := r.m[svc+"@"+string(cl)]; ok {
+		return u, nil
+	}
+	return "", fmt.Errorf("no %s@%s", svc, cl)
+}

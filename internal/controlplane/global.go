@@ -1,0 +1,222 @@
+// Package controlplane implements SLATE's hierarchical control plane as
+// network daemons (paper §3, Fig. 2): the Global Controller, which runs
+// the request routing optimization and pushes rules down, and the
+// Cluster Controller, which aggregates per-service telemetry for its
+// region (avoiding the scaling limitation of every instance talking to
+// the global controller), tags it with the cluster ID, relays it
+// upstream, and redistributes rule pushes to every local SLATE-proxy.
+//
+// Wire protocol (JSON over HTTP):
+//
+//	POST global:/v1/register   {cluster, url}          cluster joins
+//	POST global:/v1/metrics    {cluster, window_ms, stats[]}
+//	POST global:/v1/optimize   {}                      force a tick
+//	GET  global:/v1/table                              current rules
+//	GET  global:/v1/status                             demand, version
+//	POST cluster:/v1/rules     routing.Table           rule push
+//	GET  cluster:/v1/stats                             local window peek
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/telemetry"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// MetricsReport is one cluster controller's telemetry upload.
+type MetricsReport struct {
+	Cluster  topology.ClusterID      `json:"cluster"`
+	WindowMS int64                   `json:"window_ms"`
+	Stats    []telemetry.WindowStats `json:"stats"`
+}
+
+// RegisterRequest announces a cluster controller to the global
+// controller.
+type RegisterRequest struct {
+	Cluster topology.ClusterID `json:"cluster"`
+	URL     string             `json:"url"`
+}
+
+// Status is the global controller's introspection snapshot.
+type Status struct {
+	TableVersion uint64                                    `json:"table_version"`
+	Rules        int                                       `json:"rules"`
+	Demand       map[string]map[topology.ClusterID]float64 `json:"demand"`
+	Clusters     []topology.ClusterID                      `json:"clusters"`
+	Ticks        uint64                                    `json:"ticks"`
+	LastError    string                                    `json:"last_error,omitempty"`
+}
+
+// Global is the Global Controller daemon: an HTTP API around
+// core.Controller plus rule push-down to registered cluster
+// controllers.
+type Global struct {
+	mu       sync.Mutex
+	ctrl     *core.Controller
+	clusters map[topology.ClusterID]string // cluster -> cluster-controller URL
+	pending  [][]telemetry.WindowStats
+	window   time.Duration
+	ticks    uint64
+	lastErr  string
+	client   *http.Client
+}
+
+// NewGlobal wraps a core controller as a daemon.
+func NewGlobal(ctrl *core.Controller) *Global {
+	return &Global{
+		ctrl:     ctrl,
+		clusters: make(map[topology.ClusterID]string),
+		client:   &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Handler returns the daemon's HTTP API.
+func (g *Global) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register", g.handleRegister)
+	mux.HandleFunc("POST /v1/metrics", g.handleMetrics)
+	mux.HandleFunc("POST /v1/optimize", g.handleOptimize)
+	mux.HandleFunc("GET /v1/table", g.handleTable)
+	mux.HandleFunc("GET /v1/status", g.handleStatus)
+	return mux
+}
+
+func (g *Global) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Cluster == "" || req.URL == "" {
+		http.Error(w, "cluster and url required", http.StatusBadRequest)
+		return
+	}
+	g.mu.Lock()
+	g.clusters[req.Cluster] = req.URL
+	g.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Global) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var rep MetricsReport
+	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	g.mu.Lock()
+	g.pending = append(g.pending, rep.Stats)
+	if rep.WindowMS > 0 {
+		g.window = time.Duration(rep.WindowMS) * time.Millisecond
+	}
+	g.mu.Unlock()
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (g *Global) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if err := g.Tick(); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	g.handleTable(w, r)
+}
+
+func (g *Global) handleTable(w http.ResponseWriter, _ *http.Request) {
+	g.mu.Lock()
+	tab := g.ctrl.Table()
+	g.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(tab)
+}
+
+func (g *Global) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	g.mu.Lock()
+	st := Status{
+		TableVersion: g.ctrl.Table().Version,
+		Rules:        g.ctrl.Table().Len(),
+		Demand:       g.ctrl.Demand(),
+		Ticks:        g.ticks,
+		LastError:    g.lastErr,
+	}
+	for c := range g.clusters {
+		st.Clusters = append(st.Clusters, c)
+	}
+	g.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// Tick merges pending telemetry, runs one optimization round, and
+// pushes the resulting table to every registered cluster controller.
+func (g *Global) Tick() error {
+	g.mu.Lock()
+	groups := g.pending
+	g.pending = nil
+	window := g.window
+	if window == 0 {
+		window = time.Second
+	}
+	merged := telemetry.Merge(groups...)
+	table, err := g.ctrl.Tick(merged, window)
+	g.ticks++
+	if err != nil {
+		g.lastErr = err.Error()
+	} else {
+		g.lastErr = ""
+	}
+	targets := make(map[topology.ClusterID]string, len(g.clusters))
+	for c, u := range g.clusters {
+		targets[c] = u
+	}
+	g.mu.Unlock()
+
+	if err != nil {
+		return err
+	}
+	return g.push(table, targets)
+}
+
+func (g *Global) push(table *routing.Table, targets map[topology.ClusterID]string) error {
+	body, err := json.Marshal(table)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for c, u := range targets {
+		resp, err := g.client.Post(u+"/v1/rules", "application/json", bytes.NewReader(body))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("push to %s: %w", c, err)
+			}
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 && firstErr == nil {
+			firstErr = fmt.Errorf("push to %s: status %d", c, resp.StatusCode)
+		}
+	}
+	return firstErr
+}
+
+// Run ticks the controller every period until the stop channel closes.
+func (g *Global) Run(period time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			g.Tick() // errors surface via /v1/status
+		case <-stop:
+			return
+		}
+	}
+}

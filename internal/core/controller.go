@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/telemetry"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// ControllerConfig tunes the global controller's control loop.
+type ControllerConfig struct {
+	// Optimizer configuration (objective weights, linearization).
+	Optimizer Config
+	// MaxStep bounds how much traffic weight a single period may move
+	// per rule (0 or ≥1 applies optimizer output immediately). Paper §5:
+	// "implement incremental increases ... and proceed only if the
+	// objectives improve as predicted".
+	MaxStep float64
+	// DemandSmoothing is the EWMA weight of the newest demand
+	// observation in (0, 1]; default 0.5.
+	DemandSmoothing float64
+	// LearnProfiles enables online profile fitting from telemetry. When
+	// false the controller trusts its initial profiles.
+	LearnProfiles bool
+	// MinFitSamples gates profile fitting (default 3 windows).
+	MinFitSamples int
+	// GuardRegression enables the rollback guardrail: if the measured
+	// objective degrades by more than GuardTolerance after a rule change,
+	// the previous table is restored and held for one period.
+	GuardRegression bool
+	// GuardTolerance is the relative degradation that triggers rollback
+	// (default 0.15).
+	GuardTolerance float64
+}
+
+// Controller is SLATE's global controller: it ingests telemetry windows,
+// maintains demand estimates and latency profiles, re-optimizes, and
+// publishes routing tables with bounded per-period movement. It is
+// clock-agnostic — the caller invokes Tick once per collection window —
+// so the same controller drives the discrete-event simulator, the
+// loopback emulation, and the HTTP control plane daemon. Not safe for
+// concurrent use; callers serialize Ticks.
+type Controller struct {
+	cfg     ControllerConfig
+	top     *topology.Topology
+	app     *appgraph.App
+	profs   Profiles
+	history *SampleHistory
+	demand  Demand
+
+	cur     *routing.Table
+	prev    *routing.Table
+	version uint64
+
+	lastObjective   float64
+	haveLastObj     bool
+	holdAfterRevert bool
+	reverts         uint64
+}
+
+// NewController returns a controller with initial profiles derived from
+// the application model and an empty (all-local) routing table.
+func NewController(top *topology.Topology, app *appgraph.App, cfg ControllerConfig) (*Controller, error) {
+	if err := app.Validate(top); err != nil {
+		return nil, fmt.Errorf("core: controller: %w", err)
+	}
+	if cfg.DemandSmoothing <= 0 || cfg.DemandSmoothing > 1 {
+		cfg.DemandSmoothing = 0.5
+	}
+	if cfg.GuardTolerance <= 0 {
+		cfg.GuardTolerance = 0.15
+	}
+	return &Controller{
+		cfg:     cfg,
+		top:     top,
+		app:     app,
+		profs:   DefaultProfiles(app, top, Demand{}),
+		history: NewSampleHistory(0),
+		demand:  Demand{},
+		cur:     routing.EmptyTable(),
+	}, nil
+}
+
+// Table returns the currently published routing table.
+func (c *Controller) Table() *routing.Table { return c.cur }
+
+// Demand returns the controller's current demand estimate.
+func (c *Controller) Demand() Demand { return c.demand }
+
+// Profiles returns the controller's current latency profiles.
+func (c *Controller) Profiles() Profiles { return c.profs }
+
+// Reverts reports how many times the regression guardrail fired.
+func (c *Controller) Reverts() uint64 { return c.reverts }
+
+// SetDemand seeds or overrides the demand estimate (useful for one-shot
+// optimization runs where telemetry has not accumulated yet).
+func (c *Controller) SetDemand(d Demand) { c.demand = d }
+
+// SetProfiles overrides the latency profiles.
+func (c *Controller) SetProfiles(p Profiles) { c.profs = p }
+
+// Prime runs one optimization with the current (seeded) demand estimate
+// and publishes the result in full, bypassing the MaxStep rollout. Use
+// it to start an experiment from the optimizer's plan when demand is
+// known a priori; production deployments instead converge via Ticks.
+func (c *Controller) Prime() (*routing.Table, error) {
+	if !c.hasDemand() {
+		return c.cur, nil
+	}
+	c.version++
+	prob := &Problem{Top: c.top, App: c.app, Demand: c.demand, Profiles: c.profs, Config: c.cfg.Optimizer}
+	plan, err := prob.Optimize(c.version)
+	if err != nil {
+		return c.cur, err
+	}
+	c.prev = c.cur
+	c.cur = plan.Table
+	return c.cur, nil
+}
+
+// Tick processes one telemetry window and returns the table to publish.
+// stats is the merged cluster-controller telemetry for the window;
+// window is the collection window length.
+func (c *Controller) Tick(stats []telemetry.WindowStats, window time.Duration) (*routing.Table, error) {
+	c.updateDemand(stats)
+	if c.cfg.LearnProfiles {
+		c.history.Observe(stats)
+		FitProfiles(c.profs, c.history.Samples(), c.cfg.MinFitSamples)
+	}
+
+	measured, haveMeasured := c.measuredObjective(stats, window)
+
+	// Regression guardrail: if the last change made things worse, revert
+	// and hold one period so telemetry reflects the restored table.
+	if c.cfg.GuardRegression && haveMeasured && c.haveLastObj && c.prev != nil && !c.holdAfterRevert {
+		if measured > c.lastObjective*(1+c.cfg.GuardTolerance) {
+			c.cur = c.prev
+			c.prev = nil
+			c.holdAfterRevert = true
+			c.reverts++
+			c.lastObjective = measured
+			return c.cur, nil
+		}
+	}
+	if c.holdAfterRevert {
+		c.holdAfterRevert = false
+		c.lastObjective = measured
+		c.haveLastObj = haveMeasured
+		return c.cur, nil
+	}
+
+	if !c.hasDemand() {
+		// Nothing to optimize yet.
+		c.lastObjective = measured
+		c.haveLastObj = haveMeasured
+		return c.cur, nil
+	}
+
+	c.version++
+	prob := &Problem{Top: c.top, App: c.app, Demand: c.demand, Profiles: c.profs, Config: c.cfg.Optimizer}
+	plan, err := prob.Optimize(c.version)
+	if err != nil {
+		// Keep serving the current table; the caller decides whether to
+		// alert. Typical cause: measured demand transiently exceeds
+		// modeled capacity.
+		return c.cur, err
+	}
+	next := routing.Step(c.cur, plan.Table, c.cfg.MaxStep)
+	if len(routing.Diff(c.cur, next)) > 0 {
+		c.prev = c.cur
+		c.cur = next
+	}
+	c.lastObjective = measured
+	c.haveLastObj = haveMeasured
+	return c.cur, nil
+}
+
+func (c *Controller) hasDemand() bool {
+	for _, per := range c.demand {
+		for _, v := range per {
+			if v > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// updateDemand folds frontend arrival rates into the EWMA demand
+// estimate. Demand for class k in cluster i is the RPS observed at the
+// frontend service in cluster i for class k (roots are pinned to the
+// arrival cluster).
+func (c *Controller) updateDemand(stats []telemetry.WindowStats) {
+	frontend := string(c.app.FrontendService())
+	seen := make(map[string]map[topology.ClusterID]bool)
+	alpha := c.cfg.DemandSmoothing
+	for _, ws := range stats {
+		if ws.Key.Service != frontend {
+			continue
+		}
+		class := ws.Key.Class
+		if c.app.Class(class) == nil {
+			continue // not a class the optimizer knows (e.g. fallback)
+		}
+		cl := topology.ClusterID(ws.Key.Cluster)
+		if c.demand[class] == nil {
+			c.demand[class] = make(map[topology.ClusterID]float64)
+		}
+		old, had := c.demand[class][cl]
+		if had {
+			c.demand[class][cl] = (1-alpha)*old + alpha*ws.RPS
+		} else {
+			c.demand[class][cl] = ws.RPS
+		}
+		if seen[class] == nil {
+			seen[class] = make(map[topology.ClusterID]bool)
+		}
+		seen[class][cl] = true
+	}
+	// Decay demand for keys that reported nothing this window.
+	for class, per := range c.demand {
+		for cl, v := range per {
+			if seen[class] == nil || !seen[class][cl] {
+				per[cl] = (1 - alpha) * v
+				if per[cl] < 1e-6 {
+					delete(per, cl)
+				}
+			}
+		}
+	}
+}
+
+// measuredObjective computes the observed analogue of the optimizer
+// objective from telemetry: request-weighted end-to-end latency
+// (request-seconds per second) plus weighted egress dollars per second.
+// It prefers the telemetry.E2EService stream; if the runtime does not
+// report one, frontend pool latency is used as a proxy.
+func (c *Controller) measuredObjective(stats []telemetry.WindowStats, window time.Duration) (float64, bool) {
+	cfg := c.cfg.Optimizer.normalized()
+	latService := string(c.app.FrontendService())
+	for _, ws := range stats {
+		if ws.Key.Service == telemetry.E2EService {
+			latService = telemetry.E2EService
+			break
+		}
+	}
+	var latAgg float64
+	var egressPerSec float64
+	var any bool
+	for _, ws := range stats {
+		if ws.Key.Service == latService {
+			latAgg += ws.RPS * ws.MeanLatency.Seconds()
+			any = true
+		}
+		if window > 0 && ws.EgressBytes > 0 {
+			// Approximate $/s using the topology's default price scale:
+			// egress bytes already crossed clusters; price at the mean
+			// inter-cluster rate.
+			egressPerSec += meanEgressPrice(c.top) * float64(ws.EgressBytes) / (1 << 30) / window.Seconds()
+		}
+	}
+	if !any {
+		return 0, false
+	}
+	return cfg.LatencyWeight*latAgg + cfg.CostWeight*egressPerSec, true
+}
+
+func meanEgressPrice(top *topology.Topology) float64 {
+	ids := top.ClusterIDs()
+	var sum float64
+	var n int
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			sum += top.EgressCostPerGB(a, b)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

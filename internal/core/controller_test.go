@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/queuemodel"
+	"github.com/servicelayernetworking/slate/internal/telemetry"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+func newChainController(t *testing.T, cfg ControllerConfig) (*Controller, *appgraph.App) {
+	t.Helper()
+	top := topology.TwoClusters(40 * time.Millisecond)
+	app := appgraph.LinearChain(appgraph.ChainOptions{
+		Services:        3,
+		MeanServiceTime: 10 * time.Millisecond,
+		Pool:            appgraph.ReplicaPool{Replicas: 2, Concurrency: 4},
+		Clusters:        []topology.ClusterID{topology.West, topology.East},
+	})
+	c, err := NewController(top, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, app
+}
+
+func frontendStats(app *appgraph.App, class string, west, east float64, lat time.Duration) []telemetry.WindowStats {
+	fe := string(app.FrontendService())
+	return []telemetry.WindowStats{
+		{Key: telemetry.MetricKey{Service: fe, Class: class, Cluster: string(topology.West)},
+			RPS: west, Requests: uint64(west), MeanLatency: lat, Window: time.Second},
+		{Key: telemetry.MetricKey{Service: fe, Class: class, Cluster: string(topology.East)},
+			RPS: east, Requests: uint64(east), MeanLatency: lat, Window: time.Second},
+	}
+}
+
+func TestControllerLearnsDemandAndPublishes(t *testing.T) {
+	c, app := newChainController(t, ControllerConfig{DemandSmoothing: 1})
+	tab, err := c.Tick(frontendStats(app, "default", 900, 100, 50*time.Millisecond), time.Second)
+	if err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	if got := c.Demand()["default"][topology.West]; got != 900 {
+		t.Errorf("demand west = %v, want 900", got)
+	}
+	// Overload must produce at least one non-local rule.
+	d := tab.Lookup("svc-1", "default", topology.West)
+	if d.Weight(topology.East) <= 0 {
+		t.Errorf("controller did not offload under overload: %v", d)
+	}
+}
+
+func TestControllerNoDemandNoRules(t *testing.T) {
+	c, _ := newChainController(t, ControllerConfig{})
+	tab, err := c.Tick(nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 0 {
+		t.Errorf("table has %d rules with no demand", tab.Len())
+	}
+}
+
+func TestControllerEWMASmoothing(t *testing.T) {
+	c, app := newChainController(t, ControllerConfig{DemandSmoothing: 0.5})
+	c.Tick(frontendStats(app, "default", 400, 100, 20*time.Millisecond), time.Second)
+	c.Tick(frontendStats(app, "default", 600, 100, 20*time.Millisecond), time.Second)
+	got := c.Demand()["default"][topology.West]
+	if got != 500 { // 400*0.5 + 600*0.5
+		t.Errorf("smoothed demand = %v, want 500", got)
+	}
+}
+
+func TestControllerDemandDecay(t *testing.T) {
+	c, app := newChainController(t, ControllerConfig{DemandSmoothing: 0.5})
+	c.Tick(frontendStats(app, "default", 400, 0, 20*time.Millisecond), time.Second)
+	// Next window: west reports nothing.
+	fe := string(app.FrontendService())
+	c.Tick([]telemetry.WindowStats{
+		{Key: telemetry.MetricKey{Service: fe, Class: "default", Cluster: string(topology.East)},
+			RPS: 100, Requests: 100, MeanLatency: 20 * time.Millisecond},
+	}, time.Second)
+	got := c.Demand()["default"][topology.West]
+	if got != 200 {
+		t.Errorf("decayed demand = %v, want 200", got)
+	}
+}
+
+func TestControllerIgnoresUnknownClasses(t *testing.T) {
+	c, app := newChainController(t, ControllerConfig{})
+	c.Tick(frontendStats(app, "no-such-class", 500, 100, 20*time.Millisecond), time.Second)
+	if len(c.Demand()) != 0 {
+		t.Errorf("demand learned for unknown class: %v", c.Demand())
+	}
+}
+
+func TestControllerMaxStepLimitsMovement(t *testing.T) {
+	c, app := newChainController(t, ControllerConfig{DemandSmoothing: 1, MaxStep: 0.05})
+	tab, err := c.Tick(frontendStats(app, "default", 900, 100, 50*time.Millisecond), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tab.Lookup("svc-1", "default", topology.West)
+	if w := d.Weight(topology.East); w > 0.05+1e-9 {
+		t.Errorf("first step moved %v, exceeds MaxStep 0.05", w)
+	}
+	// Successive ticks keep approaching the optimum.
+	tab2, _ := c.Tick(frontendStats(app, "default", 900, 100, 50*time.Millisecond), time.Second)
+	d2 := tab2.Lookup("svc-1", "default", topology.West)
+	if d2.Weight(topology.East) <= d.Weight(topology.East) {
+		t.Errorf("second step did not advance: %v -> %v", d.Weight(topology.East), d2.Weight(topology.East))
+	}
+}
+
+func TestControllerGuardRevertsOnRegression(t *testing.T) {
+	c, app := newChainController(t, ControllerConfig{
+		DemandSmoothing: 1,
+		GuardRegression: true,
+		GuardTolerance:  0.10,
+	})
+	// Tick 1: moderate latency, causes a rule change (overload).
+	_, err := c.Tick(frontendStats(app, "default", 900, 100, 50*time.Millisecond), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Table()
+	// Tick 2: latency got dramatically worse after the change.
+	tab2, err := c.Tick(frontendStats(app, "default", 900, 100, 500*time.Millisecond), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reverts() != 1 {
+		t.Fatalf("Reverts = %d, want 1", c.Reverts())
+	}
+	if tab2 == before {
+		t.Error("guard did not restore the previous table")
+	}
+	// Tick 3 is the hold period: no new optimization applied.
+	held := c.Table()
+	tab3, _ := c.Tick(frontendStats(app, "default", 900, 100, 100*time.Millisecond), time.Second)
+	if tab3 != held {
+		t.Error("hold period should keep the restored table")
+	}
+}
+
+func TestControllerLearnProfilesFromTelemetry(t *testing.T) {
+	c, app := newChainController(t, ControllerConfig{
+		DemandSmoothing: 1,
+		LearnProfiles:   true,
+		MinFitSamples:   3,
+	})
+	fe := string(app.FrontendService())
+	// Feed windows whose svc-1 latencies come from a true M/M/8 pool
+	// with per-server rate 50/s (capacity 400), half the declared
+	// profile's 100/s (capacity 800).
+	truth := queuemodel.MMc{Servers: 8, Mu: 50}
+	for i := 0; i < 5; i++ {
+		load := 100 + float64(i*50)
+		stats := []telemetry.WindowStats{
+			{Key: telemetry.MetricKey{Service: fe, Class: "default", Cluster: string(topology.West)},
+				RPS: load, Requests: 100, MeanLatency: 2 * time.Millisecond},
+			{Key: telemetry.MetricKey{Service: "svc-1", Class: "default", Cluster: string(topology.West)},
+				RPS: load, Requests: 100,
+				MeanLatency: truth.Sojourn(load)},
+		}
+		if _, err := c.Tick(stats, time.Second); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	pp, ok := c.Profiles().Get("svc-1", topology.West)
+	if !ok {
+		t.Fatal("missing profile")
+	}
+	if cap := pp.Model.Capacity(); math.Abs(cap-400) > 40 {
+		t.Errorf("fitted capacity = %v, want ~400 (true model)", cap)
+	}
+}
+
+func TestSampleHistoryCapsLength(t *testing.T) {
+	h := NewSampleHistory(4)
+	for i := 0; i < 10; i++ {
+		h.Observe([]telemetry.WindowStats{{
+			Key:         telemetry.MetricKey{Service: "s", Class: "c", Cluster: "x"},
+			RPS:         float64(i + 1),
+			Requests:    10,
+			MeanLatency: time.Millisecond,
+		}})
+	}
+	key := PoolKey{Service: "s", Cluster: "x"}
+	samples := h.Samples()[key]
+	if len(samples) != 4 {
+		t.Fatalf("history length = %d, want 4", len(samples))
+	}
+	if samples[0].Lambda != 7 || samples[3].Lambda != 10 {
+		t.Errorf("history should keep the most recent samples: %+v", samples)
+	}
+}
+
+func TestSampleHistoryMergesClasses(t *testing.T) {
+	h := NewSampleHistory(0)
+	h.Observe([]telemetry.WindowStats{
+		{Key: telemetry.MetricKey{Service: "s", Class: "L", Cluster: "x"},
+			RPS: 100, Requests: 100, MeanLatency: 10 * time.Millisecond},
+		{Key: telemetry.MetricKey{Service: "s", Class: "H", Cluster: "x"},
+			RPS: 50, Requests: 50, MeanLatency: 40 * time.Millisecond},
+	})
+	key := PoolKey{Service: "s", Cluster: "x"}
+	samples := h.Samples()[key]
+	if len(samples) != 1 {
+		t.Fatalf("samples = %d, want 1 merged", len(samples))
+	}
+	if samples[0].Lambda != 150 {
+		t.Errorf("merged lambda = %v, want 150", samples[0].Lambda)
+	}
+	// Weighted mean latency: (100*10 + 50*40)/150 = 20ms.
+	if samples[0].Latency != 20*time.Millisecond {
+		t.Errorf("merged latency = %v, want 20ms", samples[0].Latency)
+	}
+}
+
+func TestControllerRejectsInvalidApp(t *testing.T) {
+	top := topology.TwoClusters(time.Millisecond)
+	app := appgraph.LinearChain(appgraph.ChainOptions{})
+	app.Classes = nil
+	if _, err := NewController(top, app, ControllerConfig{}); err == nil {
+		t.Fatal("invalid app accepted")
+	}
+}

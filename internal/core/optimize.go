@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/lp"
+	"github.com/servicelayernetworking/slate/internal/queuemodel"
+	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// Config tunes the optimizer's objective and linearization.
+type Config struct {
+	// LatencyWeight scales the latency term (aggregate request-seconds
+	// of latency per second). Zero with a zero CostWeight defaults to
+	// latency-only (LatencyWeight 1).
+	LatencyWeight float64
+	// CostWeight scales the egress cost term ($ per second). The paper:
+	// "if an administrator values cost over latency, an optimal request
+	// routing system should reflect it by keeping more traffic local".
+	CostWeight float64
+	// BreakFracs overrides the PWL utilization breakpoints
+	// (queuemodel.DefaultBreakFracs when nil). The last fraction is the
+	// utilization cap.
+	BreakFracs []float64
+	// PinClasses lists traffic classes that must be routed
+	// all-or-nothing: at every hop, 100% of the class's requests from a
+	// given source cluster go to a single destination cluster. This
+	// turns the LP into a true MILP (binary choice variables, solved by
+	// branch-and-bound) — useful for classes that must not be split,
+	// e.g. sticky sessions or cache-affine traffic (paper §5 "caching &
+	// data locality"). Splittable classes keep fractional rules.
+	PinClasses []string
+}
+
+func (c Config) pinned(class string) bool {
+	for _, p := range c.PinClasses {
+		if p == class {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Config) normalized() Config {
+	if c.LatencyWeight == 0 && c.CostWeight == 0 {
+		c.LatencyWeight = 1
+	}
+	return c
+}
+
+// Problem is one optimization instance.
+type Problem struct {
+	Top      *topology.Topology
+	App      *appgraph.App
+	Demand   Demand
+	Profiles Profiles
+	Config   Config
+}
+
+// PoolLoad reports the optimizer's planned load on one pool.
+type PoolLoad struct {
+	Key PoolKey
+	// StdRPS is the planned load in standard requests/second (classes
+	// weighted by relative service time).
+	StdRPS float64
+	// Utilization is StdRPS over the pool's standard capacity.
+	Utilization float64
+	// PredictedSojourn is the queueing model's sojourn time at StdRPS.
+	PredictedSojourn time.Duration
+}
+
+// Plan is the optimizer's output.
+type Plan struct {
+	Table *routing.Table
+	// Objective is the solved LP objective (weighted latency + cost).
+	Objective float64
+	// PredictedMeanLatency estimates each class's mean end-to-end
+	// latency under the plan (sequential call-tree approximation, using
+	// the nonlinear queueing model at the planned loads).
+	PredictedMeanLatency map[string]time.Duration
+	// EgressPerSecond is the planned egress cost in $/s.
+	EgressPerSecond float64
+	// EgressBytesPerSecond is the planned cross-cluster bytes/s.
+	EgressBytesPerSecond float64
+	// Loads lists planned per-pool loads, keyed deterministically.
+	Loads []PoolLoad
+}
+
+// nodeRef identifies a call node within a class tree by DFS index.
+type nodeRef struct {
+	class *appgraph.Class
+	node  *appgraph.CallNode
+	idx   int
+	// parent is the DFS index of the parent node, -1 for roots.
+	parent int
+}
+
+// Optimize builds and solves the routing LP and extracts routing rules.
+// version is stamped onto the produced table.
+func (p *Problem) Optimize(version uint64) (*Plan, error) {
+	cfg := p.Config.normalized()
+	if p.Top == nil || p.App == nil {
+		return nil, fmt.Errorf("core: problem missing topology or app")
+	}
+	if err := p.App.Validate(p.Top); err != nil {
+		return nil, fmt.Errorf("core: invalid app: %w", err)
+	}
+	clusters := p.Top.ClusterIDs()
+
+	// Flatten call trees.
+	var nodes []nodeRef
+	for _, cl := range p.App.Classes {
+		var visit func(n *appgraph.CallNode, parent int)
+		visit = func(n *appgraph.CallNode, parent int) {
+			idx := len(nodes)
+			nodes = append(nodes, nodeRef{class: cl, node: n, idx: idx, parent: parent})
+			for _, ch := range n.Children {
+				visit(ch, idx)
+			}
+		}
+		visit(cl.Root, -1)
+	}
+
+	model := lp.NewModel()
+
+	// Flow variables x[n][i][j]: rate of node-n calls whose caller ran in
+	// cluster i, executed in cluster j. Only for j where the service is
+	// placed. Root nodes are pinned to the arrival cluster (the user hits
+	// the local ingress; routing starts at the first internal hop).
+	type srcDst struct{ i, j int }
+	flow := make([]map[srcDst]lp.Var, len(nodes))
+	placedIn := func(s appgraph.ServiceID, c topology.ClusterID) bool {
+		return p.App.Services[s].PlacedIn(c)
+	}
+	for ni, nr := range nodes {
+		flow[ni] = make(map[srcDst]lp.Var)
+		for i, ci := range clusters {
+			if nr.parent == -1 {
+				// Root: executes where demand arrives; a single variable
+				// x[n][i][i] carries the demand (no choice). Skip clusters
+				// without the frontend; validated below.
+				if placedIn(nr.node.Service, ci) {
+					v := model.AddVar(fmt.Sprintf("x[%s#%d][%s->%s]", nr.class.Name, ni, ci, ci), 0)
+					flow[ni][srcDst{i, i}] = v
+				}
+				continue
+			}
+			for j, cj := range clusters {
+				if !placedIn(nr.node.Service, cj) {
+					continue
+				}
+				v := model.AddVar(fmt.Sprintf("x[%s#%d][%s->%s]", nr.class.Name, ni, ci, cj), 0)
+				flow[ni][srcDst{i, j}] = v
+			}
+		}
+	}
+
+	// Root demand constraints.
+	for ni, nr := range nodes {
+		if nr.parent != -1 {
+			continue
+		}
+		for i, ci := range clusters {
+			d := p.Demand[nr.class.Name][ci]
+			if d < 0 {
+				return nil, fmt.Errorf("core: negative demand for class %q in %s", nr.class.Name, ci)
+			}
+			v, ok := flow[ni][srcDst{i, i}]
+			if !ok {
+				if d > 0 {
+					return nil, fmt.Errorf("core: demand for class %q arrives in %s but frontend %q is not placed there",
+						nr.class.Name, ci, nr.node.Service)
+				}
+				continue
+			}
+			model.MustConstraint(
+				fmt.Sprintf("demand[%s][%s]", nr.class.Name, ci),
+				[]lp.Term{{Var: v, Coef: 1}}, lp.EQ, d)
+		}
+	}
+
+	// Conservation: for each non-root node n with parent q, for each
+	// cluster j: sum_dst x[n][j][dst] = Count_n * sum_i x[q][i][j].
+	for ni, nr := range nodes {
+		if nr.parent == -1 {
+			continue
+		}
+		for j := range clusters {
+			var terms []lp.Term
+			for sd, v := range flow[ni] {
+				if sd.i == j {
+					terms = append(terms, lp.Term{Var: v, Coef: 1})
+				}
+			}
+			for sd, v := range flow[nr.parent] {
+				if sd.j == j {
+					terms = append(terms, lp.Term{Var: v, Coef: -float64(nr.node.Count)})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			model.MustConstraint(
+				fmt.Sprintf("conserve[%s#%d][%s]", nr.class.Name, ni, clusters[j]),
+				terms, lp.EQ, 0)
+		}
+	}
+
+	// Pool load linking and PWL delay segments.
+	type poolRef struct {
+		key     PoolKey
+		profile PoolProfile
+		segs    []queuemodel.Segment
+		segVars []lp.Var
+		loadVar lp.Var
+	}
+	var pools []*poolRef
+	poolIndex := make(map[PoolKey]*poolRef)
+	for sid, svc := range p.App.Services {
+		for _, c := range svc.Clusters(p.Top) {
+			key := PoolKey{Service: sid, Cluster: c}
+			prof, ok := p.Profiles.Get(sid, c)
+			if !ok {
+				return nil, fmt.Errorf("core: no latency profile for pool %s", key)
+			}
+			segs, err := queuemodel.Linearize(prof.Model, cfg.BreakFracs)
+			if err != nil {
+				return nil, fmt.Errorf("core: linearizing pool %s: %w", key, err)
+			}
+			pr := &poolRef{key: key, profile: prof, segs: segs}
+			pr.loadVar = model.AddVar(fmt.Sprintf("load[%s]", key), 0)
+			for si, seg := range segs {
+				v := model.AddVar(fmt.Sprintf("seg[%s][%d]", key, si), cfg.LatencyWeight*seg.Slope)
+				model.SetUpper(v, seg.Width)
+				pr.segVars = append(pr.segVars, v)
+			}
+			pools = append(pools, pr)
+			poolIndex[key] = pr
+		}
+	}
+	// load[s,j] = sum over nodes at s of flows into j, scaled to standard
+	// requests; and load = sum of segment vars.
+	loadTerms := make(map[PoolKey][]lp.Term)
+	for ni, nr := range nodes {
+		for sd, v := range flow[ni] {
+			key := PoolKey{Service: nr.node.Service, Cluster: clusters[sd.j]}
+			pr := poolIndex[key]
+			scale := 1.0
+			if pr.profile.RefServiceTime > 0 {
+				scale = nr.node.Work.MeanServiceTime.Seconds() / pr.profile.RefServiceTime.Seconds()
+			}
+			loadTerms[key] = append(loadTerms[key], lp.Term{Var: v, Coef: scale})
+		}
+	}
+	for _, pr := range pools {
+		terms := append([]lp.Term{{Var: pr.loadVar, Coef: -1}}, loadTerms[pr.key]...)
+		model.MustConstraint(fmt.Sprintf("loadlink[%s]", pr.key), terms, lp.EQ, 0)
+		segTerms := []lp.Term{{Var: pr.loadVar, Coef: -1}}
+		for _, v := range pr.segVars {
+			segTerms = append(segTerms, lp.Term{Var: v, Coef: 1})
+		}
+		model.MustConstraint(fmt.Sprintf("segments[%s]", pr.key), segTerms, lp.EQ, 0)
+	}
+
+	// Per-flow linear objective terms: cross-cluster network latency and
+	// egress cost, plus the class-specific service-time correction (the
+	// PWL delay prices all requests at the pool's reference service
+	// time; a class whose service time differs by Δτ adds Δτ per call).
+	for ni, nr := range nodes {
+		for sd, v := range flow[ni] {
+			ci, cj := clusters[sd.i], clusters[sd.j]
+			var obj float64
+			if ci != cj {
+				rtt := p.Top.RTT(ci, cj).Seconds()
+				obj += cfg.LatencyWeight * rtt
+				bytes := nr.node.Work.RequestBytes + nr.node.Work.ResponseBytes
+				obj += cfg.CostWeight * p.Top.EgressCost(ci, cj, bytes)
+			}
+			if obj != 0 {
+				model.SetObj(v, obj)
+			}
+		}
+	}
+	// No per-class service-time term is added: scaling pool load by
+	// τ/τ̄ already makes heavy classes consume proportionally more PWL
+	// capacity and pay proportionally more aggregate delay, which prices
+	// their longer service time; adding Δτ again would double-count it.
+
+	// All-or-nothing pinning: for pinned classes, add binary selector
+	// variables y[n,i,j] with x[n,i,j] <= M*y and sum_j y = 1, so every
+	// (node, source cluster) routes to exactly one destination.
+	useMILP := false
+	for ni, nr := range nodes {
+		if nr.parent == -1 || !cfg.pinned(nr.class.Name) {
+			continue
+		}
+		// Upper bound on any single flow: total class demand times the
+		// node's cumulative call multiplier.
+		mult := 1.0
+		for cur := ni; nodes[cur].parent != -1; cur = nodes[cur].parent {
+			mult *= float64(nodes[cur].node.Count)
+		}
+		bigM := p.Demand.Total(nr.class.Name)*mult + 1
+		bySrc := make(map[int][]srcDst)
+		for sd := range flow[ni] {
+			bySrc[sd.i] = append(bySrc[sd.i], sd)
+		}
+		for i, sds := range bySrc {
+			if len(sds) < 2 {
+				continue // only one possible destination: nothing to pin
+			}
+			useMILP = true
+			var sel []lp.Term
+			for _, sd := range sds {
+				y := model.AddVar(fmt.Sprintf("y[%s#%d][%s->%s]", nr.class.Name, ni, clusters[sd.i], clusters[sd.j]), 0)
+				model.SetUpper(y, 1)
+				model.SetInteger(y)
+				model.MustConstraint(
+					fmt.Sprintf("pin[%s#%d][%s->%s]", nr.class.Name, ni, clusters[sd.i], clusters[sd.j]),
+					[]lp.Term{{Var: flow[ni][sd], Coef: 1}, {Var: y, Coef: -bigM}}, lp.LE, 0)
+				sel = append(sel, lp.Term{Var: y, Coef: 1})
+			}
+			model.MustConstraint(
+				fmt.Sprintf("pinsel[%s#%d][%s]", nr.class.Name, ni, clusters[i]),
+				sel, lp.EQ, 1)
+		}
+	}
+
+	var sol *lp.Solution
+	var err error
+	if useMILP {
+		sol, err = model.SolveMILP(nil)
+	} else {
+		sol, err = model.Solve()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: solving routing LP: %w", err)
+	}
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return nil, fmt.Errorf("core: routing LP infeasible: offered demand exceeds modeled capacity (utilization cap %.0f%%)",
+			lastFrac(cfg.BreakFracs)*100)
+	default:
+		return nil, fmt.Errorf("core: routing LP %v", sol.Status)
+	}
+
+	// Extract routing rules: for each (callee service, class, src
+	// cluster), weights proportional to solved flows. Root nodes are
+	// pinned and need no rule.
+	type ruleAgg map[topology.ClusterID]float64
+	ruleFlows := make(map[routing.Key]ruleAgg)
+	for ni, nr := range nodes {
+		if nr.parent == -1 {
+			continue
+		}
+		for sd, v := range flow[ni] {
+			x := sol.Value(v)
+			if x <= 1e-9 {
+				continue
+			}
+			k := routing.Key{
+				Service: string(nr.node.Service),
+				Class:   nr.class.Name,
+				Cluster: clusters[sd.i],
+			}
+			if ruleFlows[k] == nil {
+				ruleFlows[k] = make(ruleAgg)
+			}
+			ruleFlows[k][clusters[sd.j]] += x
+		}
+	}
+	rules := make(map[routing.Key]routing.Distribution, len(ruleFlows))
+	for k, agg := range ruleFlows {
+		d, err := routing.NewDistribution(agg)
+		if err != nil {
+			continue
+		}
+		rules[k] = d
+	}
+	table := routing.NewTable(version, rules)
+
+	plan := &Plan{
+		Table:                table,
+		Objective:            sol.Objective,
+		PredictedMeanLatency: make(map[string]time.Duration),
+	}
+
+	// Planned pool loads and predicted sojourns (nonlinear model at the
+	// solved standard loads).
+	poolStd := make(map[PoolKey]float64)
+	for _, pr := range pools {
+		std := sol.Value(pr.loadVar)
+		poolStd[pr.key] = std
+		capStd := pr.profile.Model.Capacity()
+		util := 0.0
+		if capStd > 0 {
+			util = std / capStd
+		}
+		plan.Loads = append(plan.Loads, PoolLoad{
+			Key:              pr.key,
+			StdRPS:           std,
+			Utilization:      util,
+			PredictedSojourn: pr.profile.Model.Sojourn(std),
+		})
+	}
+	sortLoads(plan.Loads)
+
+	// Predicted per-class mean end-to-end latency and egress totals.
+	for _, cl := range p.App.Classes {
+		total := p.Demand.Total(cl.Name)
+		if total <= 0 {
+			continue
+		}
+		var agg float64 // request-weighted latency sum (req-seconds/sec)
+		for ni, nr := range nodes {
+			if nr.class != cl {
+				continue
+			}
+			for sd, v := range flow[ni] {
+				x := sol.Value(v)
+				if x <= 0 {
+					continue
+				}
+				key := PoolKey{Service: nr.node.Service, Cluster: clusters[sd.j]}
+				pr := poolIndex[key]
+				soj := pr.profile.Model.SojournSeconds(poolStd[key])
+				if math.IsInf(soj, 1) {
+					soj = pr.profile.Model.SojournSeconds(0.999 * pr.profile.Model.Capacity())
+				}
+				// Rescale the standard sojourn's service component to the
+				// class's own service time.
+				if pr.profile.RefServiceTime > 0 {
+					soj += nr.node.Work.MeanServiceTime.Seconds() - pr.profile.RefServiceTime.Seconds()
+				}
+				lat := soj
+				if clusters[sd.i] != clusters[sd.j] {
+					lat += p.Top.RTT(clusters[sd.i], clusters[sd.j]).Seconds()
+				}
+				agg += x * lat
+			}
+		}
+		plan.PredictedMeanLatency[cl.Name] = time.Duration(agg / total * float64(time.Second))
+	}
+	for ni, nr := range nodes {
+		for sd, v := range flow[ni] {
+			if sd.i == sd.j {
+				continue
+			}
+			x := sol.Value(v)
+			if x <= 0 {
+				continue
+			}
+			bytes := float64(nr.node.Work.RequestBytes + nr.node.Work.ResponseBytes)
+			plan.EgressBytesPerSecond += x * bytes
+			plan.EgressPerSecond += x * p.Top.EgressCost(clusters[sd.i], clusters[sd.j], int64(bytes))
+		}
+	}
+	return plan, nil
+}
+
+func lastFrac(fracs []float64) float64 {
+	if len(fracs) == 0 {
+		return queuemodel.MaxUtilization
+	}
+	return fracs[len(fracs)-1]
+}
+
+func sortLoads(loads []PoolLoad) {
+	for i := 1; i < len(loads); i++ {
+		for j := i; j > 0 && lessPool(loads[j].Key, loads[j-1].Key); j-- {
+			loads[j], loads[j-1] = loads[j-1], loads[j]
+		}
+	}
+}
+
+func lessPool(a, b PoolKey) bool {
+	if a.Service != b.Service {
+		return a.Service < b.Service
+	}
+	return a.Cluster < b.Cluster
+}

@@ -1,0 +1,102 @@
+package dataplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/routing"
+)
+
+// Agent connects a standalone (out-of-process) Proxy to its cluster
+// controller: it pushes the proxy's telemetry windows upstream
+// (POST /v1/metrics) and polls for routing-table updates
+// (GET /v1/rules). In-process deployments skip the Agent and use
+// controlplane.Cluster.AddProxy instead; the Agent is what
+// cmd/slate-proxy runs so a SLATE deployment can span real processes
+// and hosts.
+type Agent struct {
+	proxy      *Proxy
+	clusterURL string
+	period     time.Duration
+	client     *http.Client
+
+	lastVersion uint64
+}
+
+// NewAgent wires a proxy to a cluster controller base URL.
+func NewAgent(p *Proxy, clusterURL string, period time.Duration) (*Agent, error) {
+	if p == nil || clusterURL == "" {
+		return nil, fmt.Errorf("dataplane: agent needs a proxy and a cluster controller URL")
+	}
+	if period <= 0 {
+		period = 5 * time.Second
+	}
+	return &Agent{
+		proxy:      p,
+		clusterURL: clusterURL,
+		period:     period,
+		client:     &http.Client{Timeout: 10 * time.Second},
+	}, nil
+}
+
+// Sync performs one round: upload the telemetry accumulated since the
+// last round, then fetch and apply the current routing table. Errors
+// are returned but non-fatal: the proxy keeps serving with its last
+// rules (a real data plane must survive control-plane outages).
+func (a *Agent) Sync() error {
+	stats := a.proxy.FlushTelemetry(a.period)
+	if len(stats) > 0 {
+		body, err := json.Marshal(stats)
+		if err != nil {
+			return err
+		}
+		resp, err := a.client.Post(a.clusterURL+"/v1/metrics", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("dataplane: agent push: %w", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("dataplane: agent push: status %d", resp.StatusCode)
+		}
+	}
+	resp, err := a.client.Get(a.clusterURL + "/v1/rules")
+	if err != nil {
+		return fmt.Errorf("dataplane: agent poll: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("dataplane: agent poll: status %d", resp.StatusCode)
+	}
+	var table routing.Table
+	if err := json.NewDecoder(resp.Body).Decode(&table); err != nil {
+		return fmt.Errorf("dataplane: agent poll: %w", err)
+	}
+	if table.Version != a.lastVersion {
+		a.proxy.SetTable(&table)
+		a.lastVersion = table.Version
+	}
+	return nil
+}
+
+// Run syncs every period until the context is cancelled. The first
+// sync happens immediately.
+func (a *Agent) Run(ctx context.Context) {
+	t := time.NewTicker(a.period)
+	defer t.Stop()
+	a.Sync()
+	for {
+		select {
+		case <-t.C:
+			a.Sync() // errors tolerated; next round retries
+		case <-ctx.Done():
+			return
+		}
+	}
+}

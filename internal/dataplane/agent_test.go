@@ -1,0 +1,105 @@
+package dataplane
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+func TestAgentSyncPushesTelemetryAndAppliesRules(t *testing.T) {
+	// Fake cluster controller: records pushed metrics, serves a table.
+	var pushed int
+	table := routing.NewTable(9, map[routing.Key]routing.Distribution{
+		{Service: "callee", Class: routing.AnyClass, Cluster: topology.West}: routing.Local(topology.East),
+	})
+	cc := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/metrics":
+			pushed++
+			io.Copy(io.Discard, r.Body)
+			w.WriteHeader(http.StatusAccepted)
+		case "/v1/rules":
+			w.Header().Set("Content-Type", "application/json")
+			body, _ := table.MarshalJSON()
+			w.Write(body)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer cc.Close()
+
+	reg := newRegistry()
+	app := echoApp(t, "app")
+	p, srv := newProxy(t, "svc", topology.West, app.URL, reg, nil)
+
+	// Generate one request so there is telemetry to push.
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	agent, err := NewAgent(p, cc.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if pushed != 1 {
+		t.Errorf("metrics pushes = %d, want 1", pushed)
+	}
+	if p.TableVersion() != 9 {
+		t.Errorf("table version = %d, want 9 (polled)", p.TableVersion())
+	}
+	// Second sync with no new telemetry: no push, same table (version
+	// unchanged -> SetTable skipped).
+	if err := agent.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if pushed != 1 {
+		t.Errorf("empty window should not push, pushes = %d", pushed)
+	}
+}
+
+func TestAgentSurvivesControllerOutage(t *testing.T) {
+	reg := newRegistry()
+	app := echoApp(t, "app")
+	p, _ := newProxy(t, "svc", topology.West, app.URL, reg, nil)
+	agent, err := NewAgent(p, "http://127.0.0.1:1", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Sync(); err == nil {
+		t.Error("sync against dead controller should error")
+	}
+	// Run must not crash and must stop on cancel.
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	go func() { agent.Run(ctx); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}
+
+func TestAgentValidation(t *testing.T) {
+	if _, err := NewAgent(nil, "http://x", time.Second); err == nil {
+		t.Error("nil proxy accepted")
+	}
+	reg := newRegistry()
+	app := echoApp(t, "app")
+	p, _ := newProxy(t, "svc", topology.West, app.URL, reg, nil)
+	if _, err := NewAgent(p, "", time.Second); err == nil {
+		t.Error("empty URL accepted")
+	}
+}

@@ -1,0 +1,387 @@
+// Package dataplane implements the SLATE-proxy: the per-instance
+// sidecar of SLATE's data plane (paper §3.1). It has exactly the two
+// jobs the paper gives it: (1) telemetry — per-request load, latency,
+// trace spans and traffic classes reported upstream — and (2) request
+// routing policy enforcement — picking a destination cluster per
+// request, per traffic class, from the rules the Global Controller
+// pushed. The routing hot path is a table lookup plus one uniform draw.
+//
+// Deployment shape: each application instance gets one Proxy. Inbound
+// requests (from remote proxies or the ingress) pass through ServeHTTP
+// to the local application. The application makes its own outbound
+// calls back through the proxy (header X-Slate-Outbound names the
+// target service), which applies routing rules and cross-cluster netem
+// delay — the loopback analogue of an Envoy sidecar pair.
+package dataplane
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/classifier"
+	"github.com/servicelayernetworking/slate/internal/netem"
+	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/telemetry"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// Wire headers. X-Slate-Outbound marks a request from the local app to
+// the sidecar; the rest propagate trace and class context, mirroring
+// how Envoy/Istio propagate b3/w3c trace headers.
+const (
+	HeaderOutbound      = "X-Slate-Outbound"       // target service name
+	HeaderClass         = "X-Slate-Class"          // traffic class
+	HeaderTraceID       = "X-Slate-Trace-Id"       // trace correlation
+	HeaderSpanID        = "X-Slate-Span-Id"        // caller span
+	HeaderSourceCluster = "X-Slate-Source-Cluster" // where the caller ran
+	HeaderTargetCluster = "X-Slate-Target-Cluster" // routing decision
+)
+
+// Resolver maps a (service, cluster) replica pool to a base URL the
+// proxy can dial. The emulation runtime registers every sidecar here —
+// the stand-in for service-mesh service discovery.
+type Resolver interface {
+	Resolve(service string, cluster topology.ClusterID) (string, error)
+}
+
+// ResolverFunc adapts a function to Resolver.
+type ResolverFunc func(service string, cluster topology.ClusterID) (string, error)
+
+// Resolve implements Resolver.
+func (f ResolverFunc) Resolve(service string, cluster topology.ClusterID) (string, error) {
+	return f(service, cluster)
+}
+
+// Config assembles a Proxy.
+type Config struct {
+	// Service is the application service this sidecar fronts.
+	Service string
+	// Cluster is the cluster the instance runs in. (The paper notes
+	// instances don't know their cluster — the cluster controller tags
+	// metrics; in this implementation the emulation runtime injects the
+	// cluster ID at sidecar construction, which is equivalent.)
+	Cluster topology.ClusterID
+	// LocalApp is the base URL of the application instance.
+	LocalApp string
+	// Resolver locates peer sidecars.
+	Resolver Resolver
+	// Netem injects cross-cluster delay; nil disables.
+	Netem *netem.Emulator
+	// Classifier derives traffic classes at the ingress; nil uses a
+	// default (service + method + templated path).
+	Classifier *classifier.Classifier
+	// Transport overrides the outbound HTTP transport (tests).
+	Transport http.RoundTripper
+	// Seed makes routing picks reproducible.
+	Seed int64
+	// Fallback lists clusters to try, in order (typically nearest
+	// first), when the routed cluster has no replicas of the target
+	// service — the locality-failover behaviour of today's meshes
+	// (paper §2), which also covers partially replicated services.
+	Fallback []topology.ClusterID
+}
+
+// Proxy is one SLATE-proxy instance. Safe for concurrent use.
+type Proxy struct {
+	service string
+	cluster topology.ClusterID
+	local   string
+	resolve Resolver
+	nem     *netem.Emulator
+	cls     *classifier.Classifier
+	agg     *telemetry.Aggregator
+
+	table    atomic.Pointer[routing.Table]
+	fallback []topology.ClusterID
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	client *http.Client
+
+	spanMu sync.Mutex
+	spans  []telemetry.Span
+}
+
+// New builds a Proxy.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Service == "" || cfg.Cluster == "" {
+		return nil, fmt.Errorf("dataplane: config missing service or cluster")
+	}
+	if cfg.Resolver == nil {
+		return nil, fmt.Errorf("dataplane: config missing resolver")
+	}
+	cls := cfg.Classifier
+	if cls == nil {
+		cls = classifier.New(classifier.Options{MinSamples: 1, TemplatePaths: true})
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = &http.Transport{MaxIdleConnsPerHost: 64}
+	}
+	p := &Proxy{
+		service:  cfg.Service,
+		cluster:  cfg.Cluster,
+		fallback: cfg.Fallback,
+		local:    cfg.LocalApp,
+		resolve:  cfg.Resolver,
+		nem:      cfg.Netem,
+		cls:      cls,
+		agg:      telemetry.NewAggregator(),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		client:   &http.Client{Transport: tr},
+	}
+	p.table.Store(routing.EmptyTable())
+	return p, nil
+}
+
+// SetTable atomically swaps the routing rules (pushed by the cluster
+// controller).
+func (p *Proxy) SetTable(t *routing.Table) {
+	if t == nil {
+		t = routing.EmptyTable()
+	}
+	p.table.Store(t)
+}
+
+// Table returns the active routing table.
+func (p *Proxy) Table() *routing.Table { return p.table.Load() }
+
+// TableVersion returns the active table's version.
+func (p *Proxy) TableVersion() uint64 { return p.table.Load().Version }
+
+// FlushTelemetry returns and resets this proxy's window stats (pulled
+// by the cluster controller).
+func (p *Proxy) FlushTelemetry(window time.Duration) []telemetry.WindowStats {
+	return p.agg.Flush(window)
+}
+
+// DrainSpans returns and clears the buffered trace spans.
+func (p *Proxy) DrainSpans() []telemetry.Span {
+	p.spanMu.Lock()
+	defer p.spanMu.Unlock()
+	out := p.spans
+	p.spans = nil
+	return out
+}
+
+// Cluster returns the proxy's cluster.
+func (p *Proxy) Cluster() topology.ClusterID { return p.cluster }
+
+// Service returns the proxied service name.
+func (p *Proxy) Service() string { return p.service }
+
+// ServeHTTP dispatches inbound vs outbound traffic.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if target := r.Header.Get(HeaderOutbound); target != "" {
+		p.serveOutbound(w, r, target)
+		return
+	}
+	p.serveInbound(w, r)
+}
+
+// serveInbound forwards a request to the local application instance and
+// records its sojourn telemetry and span. Trace context: the incoming
+// X-Slate-Span-Id is this span's parent; a fresh span ID is minted and
+// handed to the application, which propagates it on its outbound calls
+// so the next hop's span links back here (the b3-style propagation of
+// Envoy/Istio).
+func (p *Proxy) serveInbound(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	class := r.Header.Get(HeaderClass)
+	if class == "" {
+		// Ingress traffic: classify here (paper §3.3: service, HTTP
+		// method, HTTP path).
+		p.cls.Observe(p.service, r.Method, r.URL.Path)
+		class = p.cls.Classify(p.service, r.Method, r.URL.Path)
+	}
+	traceID := r.Header.Get(HeaderTraceID)
+	if traceID == "" {
+		traceID = strconv.FormatUint(p.newSpanID(), 16)
+	}
+	parentID, _ := strconv.ParseUint(r.Header.Get(HeaderSpanID), 16, 64)
+	selfID := p.newSpanID()
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.local+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, "slate-proxy: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	copyHeaders(req.Header, r.Header)
+	req.Header.Set(HeaderClass, class)
+	req.Header.Set(HeaderTraceID, traceID)
+	req.Header.Set(HeaderSpanID, strconv.FormatUint(selfID, 16))
+	// The local app must know its own cluster context to route its
+	// outbound calls; inject it.
+	req.Header.Set(HeaderSourceCluster, string(p.cluster))
+
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, "slate-proxy: local app: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	written, _ := io.Copy(w, resp.Body)
+
+	sojourn := time.Since(start)
+	p.agg.Record(telemetry.MetricKey{
+		Service: p.service,
+		Class:   class,
+		Cluster: string(p.cluster),
+	}, sojourn, 0)
+	p.recordSpan(r, class, traceID, selfID, parentID, start, sojourn, written)
+}
+
+// serveOutbound routes an application's outbound call: classify, pick a
+// destination cluster from the routing rules, inject network delay, and
+// forward to the destination sidecar.
+func (p *Proxy) serveOutbound(w http.ResponseWriter, r *http.Request, targetService string) {
+	class := r.Header.Get(HeaderClass)
+	if class == "" {
+		class = classifier.Fallback
+	}
+	dist := p.table.Load().Lookup(targetService, class, p.cluster)
+	p.mu.Lock()
+	u := p.rng.Float64()
+	p.mu.Unlock()
+	dst := dist.Pick(u)
+	if dst == "" {
+		dst = p.cluster
+	}
+
+	base, err := p.resolve.Resolve(targetService, dst)
+	if err != nil {
+		// The rule may point at a cluster with no replicas (stale rule,
+		// decommissioned pool, partial replication). Locality failover:
+		// try local, then the configured fallback order.
+		candidates := append([]topology.ClusterID{p.cluster}, p.fallback...)
+		for _, c := range candidates {
+			if c == dst {
+				continue
+			}
+			if b2, err2 := p.resolve.Resolve(targetService, c); err2 == nil {
+				base, dst, err = b2, c, nil
+				break
+			}
+		}
+		if err != nil {
+			http.Error(w, "slate-proxy: resolve "+targetService+": "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+
+	ctx := r.Context()
+	crossed := dst != p.cluster
+	if crossed && p.nem != nil {
+		if err := p.nem.Sleep(ctx, p.cluster, dst); err != nil {
+			http.Error(w, "slate-proxy: canceled", http.StatusGatewayTimeout)
+			return
+		}
+	}
+
+	req, err := http.NewRequestWithContext(ctx, r.Method, base+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, "slate-proxy: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	copyHeaders(req.Header, r.Header)
+	req.Header.Del(HeaderOutbound) // consumed here
+	req.Header.Set(HeaderClass, class)
+	req.Header.Set(HeaderTargetCluster, string(dst))
+	req.Header.Set(HeaderSourceCluster, string(p.cluster))
+	// X-Slate-Trace-Id/Span-Id pass through unchanged: the caller's
+	// inbound pass minted them and the destination sidecar will link
+	// its span to them.
+	if req.Header.Get(HeaderTraceID) == "" {
+		req.Header.Set(HeaderTraceID, strconv.FormatUint(p.newSpanID(), 16))
+	}
+
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, "slate-proxy: upstream "+targetService+": "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+
+	if crossed && p.nem != nil {
+		// Response path delay.
+		if err := p.nem.Sleep(ctx, dst, p.cluster); err != nil {
+			http.Error(w, "slate-proxy: canceled", http.StatusGatewayTimeout)
+			return
+		}
+	}
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Set(HeaderTargetCluster, string(dst))
+	w.WriteHeader(resp.StatusCode)
+	written, _ := io.Copy(w, resp.Body)
+
+	if crossed {
+		egress := written + r.ContentLength
+		if r.ContentLength < 0 {
+			egress = written
+		}
+		p.agg.Record(telemetry.MetricKey{
+			Service: "__egress__",
+			Class:   class,
+			Cluster: string(p.cluster),
+		}, 0, egress)
+	}
+}
+
+// newSpanID mints a non-zero 64-bit span ID unique across proxies with
+// overwhelming probability (zero is reserved for "no parent").
+func (p *Proxy) newSpanID() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		id := uint64(p.rng.Int63())<<1 ^ uint64(p.rng.Int63())
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+func (p *Proxy) recordSpan(r *http.Request, class, traceID string, selfID, parentID uint64, start time.Time, dur time.Duration, respBytes int64) {
+	trace, _ := strconv.ParseUint(traceID, 16, 64)
+	span := telemetry.Span{
+		Trace:     telemetry.TraceID(trace),
+		ID:        telemetry.SpanID(selfID),
+		Parent:    telemetry.SpanID(parentID),
+		Service:   p.service,
+		Cluster:   string(p.cluster),
+		Class:     class,
+		Method:    r.Method,
+		Path:      r.URL.Path,
+		Start:     time.Duration(start.UnixNano()),
+		End:       time.Duration(start.Add(dur).UnixNano()),
+		ReqBytes:  maxInt64(r.ContentLength, 0),
+		RespBytes: respBytes,
+		Remote:    r.Header.Get(HeaderSourceCluster) != "" && r.Header.Get(HeaderSourceCluster) != string(p.cluster),
+	}
+	p.spanMu.Lock()
+	p.spans = append(p.spans, span)
+	p.spanMu.Unlock()
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

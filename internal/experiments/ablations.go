@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/simrun"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// AblationWaterfallThreshold sweeps the Waterfall baseline's static
+// threshold fraction on the Fig. 6a scenario. It quantifies Fig. 3's
+// argument end-to-end: every static threshold loses somewhere — low
+// fractions over-offload (needless RTT), fractions at rated capacity
+// melt down (unbounded queueing) — while SLATE's load-dependent optimum
+// is a single fixed policy across the sweep.
+func AblationWaterfallThreshold(opt Options) (*Figure, error) {
+	opt = opt.defaults()
+	top := topology.TwoClusters(40 * time.Millisecond)
+	app := chainApp(topology.West, topology.East)
+	demand := core.Demand{"default": {topology.West: 900, topology.East: 100}}
+	scn := simrun.Scenario{
+		Name:     "ablation-threshold",
+		Top:      top,
+		App:      app,
+		Workload: steady("default", demand["default"]),
+		Duration: opt.Duration,
+		Warmup:   opt.Warmup,
+		Seed:     opt.Seed,
+	}
+	fig := &Figure{
+		ID:      "ablation-threshold",
+		Title:   "Waterfall threshold sensitivity (Fig. 6a scenario)",
+		Notes:   []string{"x = threshold fraction of rated capacity; y = mean latency (ms)"},
+		Summary: map[string]float64{},
+	}
+	s := Series{Name: "waterfall", XLabel: "threshold fraction", YLabel: "mean latency (ms)"}
+	var slateMean float64
+	for _, frac := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0} {
+		cmp, err := runPair(scn, demand, core.ControllerConfig{}, frac)
+		if err != nil {
+			return nil, fmt.Errorf("ablation frac=%v: %w", frac, err)
+		}
+		s.X = append(s.X, frac)
+		s.Y = append(s.Y, float64(cmp.Baseline.Mean)/1e6)
+		slateMean = float64(cmp.SLATE.Mean) / 1e6
+	}
+	fig.Series = append(fig.Series, s,
+		Series{Name: "slate", XLabel: s.XLabel, YLabel: s.YLabel,
+			X: []float64{s.X[0], s.X[len(s.X)-1]}, Y: []float64{slateMean, slateMean}})
+	fig.Summary["slate_mean_ms"] = slateMean
+	best := s.Y[0]
+	worst := s.Y[0]
+	for _, y := range s.Y {
+		if y < best {
+			best = y
+		}
+		if y > worst {
+			worst = y
+		}
+	}
+	fig.Summary["waterfall_best_mean_ms"] = best
+	fig.Summary["waterfall_worst_mean_ms"] = worst
+	return fig, nil
+}
+
+// AblationClassGranularity compares SLATE run with its true per-class
+// view against SLATE forced to treat all requests as one aggregate
+// class on the Fig. 6d scenario — the "traffic classification" design
+// choice (paper §5): a single class misses the chance to offload only
+// the heavy requests.
+func AblationClassGranularity(opt Options) (*Figure, error) {
+	opt = opt.defaults()
+	top := topology.TwoClusters(30 * time.Millisecond)
+	appTwo := twoClassExperimentApp()
+	demand := core.Demand{
+		"L": {topology.West: 400, topology.East: 50},
+		"H": {topology.West: 330, topology.East: 50},
+	}
+	scn := simrun.Scenario{
+		Name: "ablation-classes",
+		Top:  top,
+		App:  appTwo,
+		Workload: append(steady("L", demand["L"]),
+			steady("H", demand["H"])...),
+		Duration: opt.Duration,
+		Warmup:   opt.Warmup,
+		Seed:     opt.Seed,
+	}
+	// Per-class SLATE.
+	perClass, err := core.NewController(top, appTwo, core.ControllerConfig{})
+	if err != nil {
+		return nil, err
+	}
+	perClass.SetDemand(demand)
+	perClassRes, err := simrun.Run(scn, simrun.SLATE(perClass, true))
+	if err != nil {
+		return nil, err
+	}
+	// Class-blind SLATE: same optimizer, but the app model merges L and
+	// H into a single class with blended service time; its (single) rule
+	// then applies to both real classes via the wildcard.
+	blind, err := core.NewController(top, mergedClassApp(), core.ControllerConfig{})
+	if err != nil {
+		return nil, err
+	}
+	blindDemand := core.Demand{"all": {
+		topology.West: demand["L"][topology.West] + demand["H"][topology.West],
+		topology.East: demand["L"][topology.East] + demand["H"][topology.East],
+	}}
+	blind.SetDemand(blindDemand)
+	blindTable, err := blind.Prime()
+	if err != nil {
+		return nil, err
+	}
+	// Rewrite the merged-class rules as wildcard rules for the real app.
+	blindRes, err := simrun.Run(scn, simrun.Static("slate-classblind", wildcardize(blindTable)))
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:    "ablation-classes",
+		Title: "Traffic-class granularity: per-class vs class-blind optimization",
+		Summary: map[string]float64{
+			"perclass_mean_ms":   float64(perClassRes.Mean) / 1e6,
+			"classblind_mean_ms": float64(blindRes.Mean) / 1e6,
+			"classblind_over_perclass": float64(blindRes.Mean) /
+				float64(perClassRes.Mean),
+		},
+	}
+	for name, cr := range perClassRes.PerClass {
+		fig.Summary["perclass_mean_ms_"+name] = float64(cr.Mean) / 1e6
+	}
+	for name, cr := range blindRes.PerClass {
+		fig.Summary["classblind_mean_ms_"+name] = float64(cr.Mean) / 1e6
+	}
+	return fig, nil
+}
+
+// AblationStepSize sweeps the controller's MaxStep rollout bound on an
+// adaptive run (no priming): small steps converge slowly but guard
+// against misprediction; full steps converge in one period. This is
+// the design choice behind §5's "resilience to prediction error".
+func AblationStepSize(opt Options) (*Figure, error) {
+	opt = opt.defaults()
+	top := topology.TwoClusters(40 * time.Millisecond)
+	app := chainApp(topology.West, topology.East)
+	scn := simrun.Scenario{
+		Name:          "ablation-step",
+		Top:           top,
+		App:           app,
+		Workload:      steady("default", map[topology.ClusterID]float64{topology.West: 900, topology.East: 100}),
+		Duration:      opt.Duration,
+		Warmup:        opt.Warmup,
+		ControlPeriod: 2 * time.Second,
+		Seed:          opt.Seed,
+	}
+	fig := &Figure{
+		ID:      "ablation-step",
+		Title:   "Rollout step-size sensitivity (adaptive run, west overloaded)",
+		Summary: map[string]float64{},
+	}
+	s := Series{Name: "mean-latency", XLabel: "MaxStep", YLabel: "mean latency (ms)"}
+	for _, step := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
+		ctrl, err := core.NewController(top, app, core.ControllerConfig{MaxStep: step, DemandSmoothing: 0.7})
+		if err != nil {
+			return nil, err
+		}
+		res, err := simrun.Run(scn, simrun.SLATE(ctrl, false))
+		if err != nil {
+			return nil, err
+		}
+		s.X = append(s.X, step)
+		s.Y = append(s.Y, float64(res.Mean)/1e6)
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// twoClassExperimentApp returns the Fig. 6d application.
+func twoClassExperimentApp() *appgraph.App {
+	return appgraph.TwoClassApp(appgraph.TwoClassOptions{
+		LightTime: 2 * time.Millisecond,
+		HeavyTime: 20 * time.Millisecond,
+		Pool:      appgraph.ReplicaPool{Replicas: 2, Concurrency: 4},
+	})
+}
+
+// wildcardize rewrites every rule of a table onto the wildcard class,
+// so a plan computed for a merged class applies to all real classes.
+func wildcardize(t *routing.Table) *routing.Table {
+	rules := make(map[routing.Key]routing.Distribution)
+	for _, k := range t.Keys() {
+		d, _ := t.Get(k)
+		rules[routing.Key{Service: k.Service, Class: routing.AnyClass, Cluster: k.Cluster}] = d
+	}
+	return routing.NewTable(t.Version, rules)
+}
+
+// mergedClassApp builds the Fig. 6d app with L and H merged into one
+// "all" class whose service time is the demand-weighted blend.
+func mergedClassApp() *appgraph.App {
+	app := twoClassExperimentApp()
+	l := app.Class("L")
+	h := app.Class("H")
+	// Demand-weighted blend: (400*2ms + 330*20ms) / 730 ≈ 10.1ms.
+	blend := time.Duration((400*float64(l.Root.Children[0].Work.MeanServiceTime) +
+		330*float64(h.Root.Children[0].Work.MeanServiceTime)) / 730)
+	merged := *l.Root.Children[0]
+	merged.Work.MeanServiceTime = blend
+	root := *l.Root
+	root.Children = []*appgraph.CallNode{&merged}
+	app.Classes = []*appgraph.Class{{Name: "all", Root: &root}}
+	return app
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/baseline"
+	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/simrun"
+	"github.com/servicelayernetworking/slate/internal/topology"
+	"github.com/servicelayernetworking/slate/internal/workload"
+)
+
+// BurstReaction measures how quickly adaptive request routing absorbs a
+// sudden load burst — the paper's §2 motivation that request routing
+// reacts orders of magnitude faster than autoscaling (which needs
+// "seconds to minutes" for monitoring, scaling decisions, image pull
+// and warm-up). West jumps from 300 to 850 RPS for 30 s; neither
+// controller is primed, the control period is 2 s, and the timeline
+// shows per-window mean latency for SLATE, Waterfall, and a no-op
+// local-only policy (the autoscaler stand-in that hasn't scaled yet).
+func BurstReaction(opt Options) (*Figure, error) {
+	opt = opt.defaults()
+	top := topology.TwoClusters(40 * time.Millisecond)
+	app := chainApp(topology.West, topology.East)
+	const (
+		base  = 300.0
+		burst = 850.0
+		warm  = 20 * time.Second
+		hold  = 30 * time.Second
+	)
+	scn := simrun.Scenario{
+		Name: "burst",
+		Top:  top,
+		App:  app,
+		Workload: []workload.Spec{
+			workload.Burst("default", topology.West, base, burst, warm, hold),
+			workload.Steady("default", topology.East, 100),
+		},
+		Duration:      80 * time.Second,
+		Warmup:        2 * time.Second,
+		ControlPeriod: 2 * time.Second,
+		Seed:          opt.Seed,
+	}
+
+	fig := &Figure{
+		ID:    "burst",
+		Title: "Reaction to a load burst (west 300→850→300 RPS, adaptive controllers)",
+		Notes: []string{
+			"burst from t=20s to t=50s; control period 2s; no controller priming",
+			"x = time (s); y = per-window mean latency (ms)",
+		},
+		Summary: map[string]float64{},
+	}
+
+	run := func(name string, pol simrun.Policy) (*simrun.Result, error) {
+		res, err := simrun.Run(scn, pol)
+		if err != nil {
+			return nil, fmt.Errorf("burst %s: %w", name, err)
+		}
+		s := Series{Name: name, XLabel: "time (s)", YLabel: "mean latency (ms)"}
+		for _, p := range res.Timeline {
+			s.X = append(s.X, p.At.Seconds())
+			s.Y = append(s.Y, float64(p.Mean)/1e6)
+		}
+		fig.Series = append(fig.Series, s)
+		// Mean latency during the burst interval.
+		var sum float64
+		var n int
+		for _, p := range res.Timeline {
+			if p.At > warm && p.At <= warm+hold {
+				sum += float64(p.Mean) / 1e6
+				n++
+			}
+		}
+		if n > 0 {
+			fig.Summary[name+"_burst_mean_ms"] = sum / float64(n)
+		}
+		return res, nil
+	}
+
+	slateCtrl, err := core.NewController(top, app, core.ControllerConfig{DemandSmoothing: 0.7})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := run("slate", simrun.SLATE(slateCtrl, false)); err != nil {
+		return nil, err
+	}
+
+	caps := baseline.DefaultCapacities(app, top,
+		core.Demand{"default": {topology.West: base, topology.East: 100}}, waterfallFrac)
+	wfCtrl, err := baseline.NewController(top, app, caps)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := run("waterfall", simrun.Waterfall(wfCtrl, false)); err != nil {
+		return nil, err
+	}
+
+	if _, err := run("local-only", simrun.Static("local-only", baseline.LocalOnly())); err != nil {
+		return nil, err
+	}
+
+	fig.Summary["localonly_over_slate_burst"] =
+		fig.Summary["local-only_burst_mean_ms"] / fig.Summary["slate_burst_mean_ms"]
+	return fig, nil
+}
+
+// Scalability measures the optimizer's solve time as the problem grows
+// in clusters, chain length, and traffic classes — the paper's §5
+// "scalability & fast reaction" challenge ("an optimization time on the
+// order of seconds for large-scale deployments is desirable"). Solve
+// times are wall-clock and hence machine-dependent; the series shape
+// (growth trend) is the result.
+func Scalability(opt Options) (*Figure, error) {
+	_ = opt.defaults()
+	fig := &Figure{
+		ID:    "scalability",
+		Title: "Optimizer solve time vs deployment size",
+		Notes: []string{
+			"x = scale parameter; y = one Optimize() wall-clock ms (median of 5)",
+		},
+		Summary: map[string]float64{},
+	}
+
+	ring := func(n int) *topology.Topology {
+		b := topology.NewBuilder(topology.DefaultEgressPerGB)
+		ids := make([]topology.ClusterID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = topology.ClusterID(fmt.Sprintf("c%02d", i))
+			b.AddCluster(ids[i], "region")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				hops := j - i
+				if n-hops < hops {
+					hops = n - hops
+				}
+				b.SetRTT(ids[i], ids[j], time.Duration(10+20*hops)*time.Millisecond)
+			}
+		}
+		return b.MustBuild()
+	}
+
+	timeIt := func(top *topology.Topology, app *appgraph.App, demand core.Demand) (float64, error) {
+		prob := &core.Problem{Top: top, App: app, Demand: demand,
+			Profiles: core.DefaultProfiles(app, top, demand)}
+		var samples []float64
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			if _, err := prob.Optimize(uint64(i + 1)); err != nil {
+				return 0, err
+			}
+			samples = append(samples, float64(time.Since(start))/1e6)
+		}
+		// median
+		for i := 1; i < len(samples); i++ {
+			for j := i; j > 0 && samples[j] < samples[j-1]; j-- {
+				samples[j], samples[j-1] = samples[j-1], samples[j]
+			}
+		}
+		return samples[len(samples)/2], nil
+	}
+
+	// Sweep clusters (3-service chain, 1 class).
+	sc := Series{Name: "clusters", XLabel: "clusters", YLabel: "solve ms"}
+	for _, n := range []int{2, 3, 4, 6, 8, 12} {
+		top := ring(n)
+		app := chainApp(top.ClusterIDs()...)
+		demand := core.Demand{"default": {}}
+		for _, c := range top.ClusterIDs() {
+			demand["default"][c] = 300
+		}
+		ms, err := timeIt(top, app, demand)
+		if err != nil {
+			return nil, fmt.Errorf("scalability clusters=%d: %w", n, err)
+		}
+		sc.X = append(sc.X, float64(n))
+		sc.Y = append(sc.Y, ms)
+	}
+	fig.Series = append(fig.Series, sc)
+	fig.Summary["solve_ms_at_12_clusters"] = sc.Y[len(sc.Y)-1]
+
+	// Sweep chain length (4 clusters).
+	top4 := ring(4)
+	ss := Series{Name: "services", XLabel: "chain services", YLabel: "solve ms"}
+	for _, n := range []int{2, 4, 8, 12, 16} {
+		app := appgraph.LinearChain(appgraph.ChainOptions{
+			Services:        n,
+			MeanServiceTime: 10 * time.Millisecond,
+			Pool:            appgraph.ReplicaPool{Replicas: 2, Concurrency: 4},
+			Clusters:        top4.ClusterIDs(),
+		})
+		demand := core.Demand{"default": {}}
+		for _, c := range top4.ClusterIDs() {
+			demand["default"][c] = 300
+		}
+		ms, err := timeIt(top4, app, demand)
+		if err != nil {
+			return nil, fmt.Errorf("scalability services=%d: %w", n, err)
+		}
+		ss.X = append(ss.X, float64(n))
+		ss.Y = append(ss.Y, ms)
+	}
+	fig.Series = append(fig.Series, ss)
+	fig.Summary["solve_ms_at_16_services"] = ss.Y[len(ss.Y)-1]
+
+	// Sweep classes (4 clusters, 3-service chain replicated per class).
+	cs := Series{Name: "classes", XLabel: "traffic classes", YLabel: "solve ms"}
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		app := multiClassChain(n, top4.ClusterIDs())
+		demand := core.Demand{}
+		for k := 0; k < n; k++ {
+			class := fmt.Sprintf("class-%02d", k)
+			demand[class] = map[topology.ClusterID]float64{}
+			for _, c := range top4.ClusterIDs() {
+				demand[class][c] = 300 / float64(n)
+			}
+		}
+		ms, err := timeIt(top4, app, demand)
+		if err != nil {
+			return nil, fmt.Errorf("scalability classes=%d: %w", n, err)
+		}
+		cs.X = append(cs.X, float64(n))
+		cs.Y = append(cs.Y, ms)
+	}
+	fig.Series = append(fig.Series, cs)
+	fig.Summary["solve_ms_at_16_classes"] = cs.Y[len(cs.Y)-1]
+	return fig, nil
+}
+
+// multiClassChain builds the 3-service chain app with n traffic classes
+// of varying service demands.
+func multiClassChain(n int, clusters []topology.ClusterID) *appgraph.App {
+	app := appgraph.LinearChain(appgraph.ChainOptions{
+		Services:        3,
+		MeanServiceTime: 10 * time.Millisecond,
+		Pool:            appgraph.ReplicaPool{Replicas: 2, Concurrency: 4},
+		Clusters:        clusters,
+	})
+	base := app.Classes[0]
+	app.Classes = nil
+	for k := 0; k < n; k++ {
+		cl := cloneClass(base, fmt.Sprintf("class-%02d", k))
+		// Vary per-class cost so classes are not interchangeable.
+		scale := 0.5 + float64(k%4)*0.25
+		cl.Root.Walk(func(node *appgraph.CallNode) {
+			node.Work.MeanServiceTime = time.Duration(float64(node.Work.MeanServiceTime) * scale)
+			node.Path = fmt.Sprintf("%s/c%d", node.Path, k)
+		})
+		app.Classes = append(app.Classes, cl)
+	}
+	return app
+}
+
+func cloneClass(c *appgraph.Class, name string) *appgraph.Class {
+	var cloneNode func(n *appgraph.CallNode) *appgraph.CallNode
+	cloneNode = func(n *appgraph.CallNode) *appgraph.CallNode {
+		cp := *n
+		cp.Children = nil
+		for _, ch := range n.Children {
+			cp.Children = append(cp.Children, cloneNode(ch))
+		}
+		return &cp
+	}
+	return &appgraph.Class{Name: name, Root: cloneNode(c.Root)}
+}

@@ -1,0 +1,197 @@
+// Package experiments defines and runs the paper's evaluation scenarios
+// — one entry per figure (the paper has no numbered tables; Figs. 1, 2
+// and 5 are architecture diagrams). Each experiment returns printable
+// series/rows so cmd/slate-bench and the repository benchmarks can
+// regenerate the paper's artifacts. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/baseline"
+	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/simrun"
+	"github.com/servicelayernetworking/slate/internal/topology"
+	"github.com/servicelayernetworking/slate/internal/workload"
+)
+
+// Series is one plottable curve.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	XLabel string
+	YLabel string
+}
+
+// Figure is the output of one experiment.
+type Figure struct {
+	ID    string
+	Title string
+	// Series holds the curves the paper plots.
+	Series []Series
+	// Summary holds headline scalars (ratios, thresholds).
+	Summary map[string]float64
+	// Notes records scenario parameters for the record.
+	Notes []string
+}
+
+// Comparison bundles paired SLATE/baseline runs of one scenario.
+type Comparison struct {
+	SLATE    *simrun.Result
+	Baseline *simrun.Result
+	// MeanRatio is baseline mean latency / SLATE mean latency (>1 means
+	// SLATE wins).
+	MeanRatio float64
+	// P99Ratio likewise for tail latency.
+	P99Ratio float64
+	// EgressRatio is baseline egress bytes / SLATE egress bytes.
+	EgressRatio float64
+}
+
+func compare(s, b *simrun.Result) Comparison {
+	c := Comparison{SLATE: s, Baseline: b}
+	if s.Mean > 0 {
+		c.MeanRatio = float64(b.Mean) / float64(s.Mean)
+	}
+	if s.P99 > 0 {
+		c.P99Ratio = float64(b.P99) / float64(s.P99)
+	}
+	if s.EgressBytes > 0 {
+		c.EgressRatio = float64(b.EgressBytes) / float64(s.EgressBytes)
+	} else if b.EgressBytes > 0 {
+		c.EgressRatio = float64(b.EgressBytes)
+	}
+	return c
+}
+
+// cdfSeries converts a result's latency CDF into a Series.
+func cdfSeries(name string, r *simrun.Result) Series {
+	cdf := r.CDF()
+	s := Series{Name: name, XLabel: "latency (ms)", YLabel: "P(X<=x)"}
+	for _, p := range cdf {
+		s.X = append(s.X, float64(p.Latency)/float64(time.Millisecond))
+		s.Y = append(s.Y, p.Fraction)
+	}
+	return s
+}
+
+// Options tunes experiment runs; the zero value uses paper-scale
+// defaults.
+type Options struct {
+	// Duration/Warmup of each simulated measurement (default 60s/10s
+	// virtual time).
+	Duration, Warmup time.Duration
+	// Seed for reproducibility (default 42).
+	Seed int64
+}
+
+func (o Options) defaults() Options {
+	if o.Duration <= 0 {
+		o.Duration = 60 * time.Second
+	}
+	if o.Warmup <= 0 || o.Warmup >= o.Duration {
+		o.Warmup = o.Duration / 6
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// chainApp builds the paper's 3-service microbenchmark chain for the
+// given clusters.
+func chainApp(clusters ...topology.ClusterID) *appgraph.App {
+	return appgraph.LinearChain(appgraph.ChainOptions{
+		Services:        3,
+		MeanServiceTime: 10 * time.Millisecond,
+		Pool:            appgraph.ReplicaPool{Replicas: 2, Concurrency: 4},
+		Clusters:        clusters,
+	})
+}
+
+// runPair runs the scenario under primed SLATE and primed Waterfall
+// controllers and returns the comparison.
+func runPair(scn simrun.Scenario, demand core.Demand, slateCfg core.ControllerConfig, thresholdFrac float64) (Comparison, error) {
+	sc, err := core.NewController(scn.Top, scn.App, slateCfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	sc.SetDemand(demand)
+	slateRes, err := simrun.Run(scn, simrun.SLATE(sc, true))
+	if err != nil {
+		return Comparison{}, fmt.Errorf("slate run: %w", err)
+	}
+	caps := baseline.DefaultCapacities(scn.App, scn.Top, demand, thresholdFrac)
+	wc, err := baseline.NewController(scn.Top, scn.App, caps)
+	if err != nil {
+		return Comparison{}, err
+	}
+	wc.SetDemand(demand)
+	wfRes, err := simrun.Run(scn, simrun.Waterfall(wc, true))
+	if err != nil {
+		return Comparison{}, fmt.Errorf("waterfall run: %w", err)
+	}
+	return compare(slateRes, wfRes), nil
+}
+
+// Render writes a figure as aligned text tables.
+func Render(w io.Writer, f *Figure) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "   # %s\n", n)
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "-- series %q (%s vs %s)\n", s.Name, s.YLabel, s.XLabel)
+		for i := range s.X {
+			fmt.Fprintf(w, "   %12.3f  %12.4f\n", s.X[i], s.Y[i])
+		}
+	}
+	if len(f.Summary) > 0 {
+		keys := make([]string, 0, len(f.Summary))
+		for k := range f.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w, "-- summary")
+		for _, k := range keys {
+			fmt.Fprintf(w, "   %-40s %12.4f\n", k, f.Summary[k])
+		}
+	}
+}
+
+// downsampleCDF thins a CDF series to at most n points (benchmark
+// output hygiene); the first and last points are always kept.
+func downsampleCDF(s Series, n int) Series {
+	if len(s.X) <= n || n < 2 {
+		return s
+	}
+	out := Series{Name: s.Name, XLabel: s.XLabel, YLabel: s.YLabel}
+	step := float64(len(s.X)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		idx := int(float64(i) * step)
+		out.X = append(out.X, s.X[idx])
+		out.Y = append(out.Y, s.Y[idx])
+	}
+	return out
+}
+
+// steady builds the workload streams for a demand map over one class.
+func steady(class string, demand map[topology.ClusterID]float64) []workload.Spec {
+	var out []workload.Spec
+	ids := make([]topology.ClusterID, 0, len(demand))
+	for c := range demand {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, c := range ids {
+		if demand[c] > 0 {
+			out = append(out, workload.Steady(class, c, demand[c]))
+		}
+	}
+	return out
+}

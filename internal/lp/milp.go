@@ -1,0 +1,166 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MILPOptions tunes SolveMILP.
+type MILPOptions struct {
+	// MaxNodes caps the number of branch-and-bound nodes explored.
+	// Zero means the default (100000).
+	MaxNodes int
+	// IntTol is how far from integral a value may be and still count as
+	// integer. Zero means the default (1e-6).
+	IntTol float64
+	// Gap terminates early when (best - bound)/max(1,|best|) falls
+	// below it. Zero means prove optimality exactly.
+	Gap float64
+}
+
+func (o *MILPOptions) defaults() MILPOptions {
+	out := MILPOptions{MaxNodes: 100000, IntTol: 1e-6}
+	if o != nil {
+		if o.MaxNodes > 0 {
+			out.MaxNodes = o.MaxNodes
+		}
+		if o.IntTol > 0 {
+			out.IntTol = o.IntTol
+		}
+		out.Gap = o.Gap
+	}
+	return out
+}
+
+// bound is an extra [lo, hi] restriction applied to one variable at a
+// branch-and-bound node.
+type bound struct {
+	v      Var
+	lo, hi float64
+}
+
+// SolveMILP minimizes the model subject to the integrality marks set
+// with SetInteger, using LP-relaxation branch-and-bound with best-bound
+// node selection and most-fractional branching. If no variables are
+// integral it is equivalent to Solve.
+func (m *Model) SolveMILP(opt *MILPOptions) (*Solution, error) {
+	o := opt.defaults()
+	var intVars []Var
+	for j, v := range m.vars {
+		if v.integer {
+			intVars = append(intVars, Var(j))
+		}
+	}
+	if len(intVars) == 0 {
+		return m.Solve()
+	}
+
+	type node struct {
+		bounds []bound
+		lb     float64 // parent relaxation objective (lower bound)
+	}
+	root := node{}
+	open := []node{root}
+	var best *Solution
+	bestObj := math.Inf(1)
+	nodes := 0
+
+	solveWith := func(bounds []bound) (*Solution, error) {
+		sub := m.clone()
+		for _, b := range bounds {
+			if b.lo > 0 {
+				// x >= lo as a constraint (vars are naturally >= 0).
+				if err := sub.AddConstraint("bnb#lo", []Term{{b.v, 1}}, GE, b.lo); err != nil {
+					return nil, err
+				}
+			}
+			if !math.IsInf(b.hi, 1) {
+				cur := sub.vars[b.v].upper
+				if b.hi < cur {
+					sub.vars[b.v].upper = b.hi
+				}
+			}
+		}
+		return sub.Solve()
+	}
+
+	for len(open) > 0 {
+		if nodes >= o.MaxNodes {
+			if best != nil {
+				return best, nil
+			}
+			return nil, fmt.Errorf("lp: branch-and-bound node limit %d exhausted without incumbent", o.MaxNodes)
+		}
+		// Best-bound: pick the open node with the smallest parent bound.
+		sort.SliceStable(open, func(i, j int) bool { return open[i].lb < open[j].lb })
+		cur := open[0]
+		open = open[1:]
+		if best != nil && cur.lb >= bestObj-o.Gap*math.Max(1, math.Abs(bestObj)) {
+			continue // pruned by bound
+		}
+		nodes++
+		sol, err := solveWith(cur.bounds)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status == Unbounded {
+			// An unbounded relaxation at the root means the MILP is
+			// unbounded or infeasible; we report unbounded.
+			if len(cur.bounds) == 0 {
+				return sol, nil
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			continue // infeasible branch
+		}
+		if best != nil && sol.Objective >= bestObj-1e-12 {
+			continue // cannot improve
+		}
+		// Find the most fractional integer variable.
+		branch := Var(-1)
+		worst := o.IntTol
+		for _, v := range intVars {
+			x := sol.X[v]
+			f := math.Abs(x - math.Round(x))
+			if f > worst {
+				worst = f
+				branch = v
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			bestObj = sol.Objective
+			s := *sol
+			s.X = append([]float64(nil), sol.X...)
+			best = &s
+			continue
+		}
+		x := sol.X[branch]
+		lo := append(append([]bound(nil), cur.bounds...), bound{v: branch, lo: 0, hi: math.Floor(x)})
+		hi := append(append([]bound(nil), cur.bounds...), bound{v: branch, lo: math.Ceil(x), hi: math.Inf(1)})
+		open = append(open, node{bounds: lo, lb: sol.Objective}, node{bounds: hi, lb: sol.Objective})
+	}
+	if best == nil {
+		return &Solution{Status: Infeasible}, nil
+	}
+	return best, nil
+}
+
+// clone returns a deep copy of the model safe to mutate independently.
+func (m *Model) clone() *Model {
+	c := &Model{
+		vars: append([]variable(nil), m.vars...),
+		cons: make([]constraint, len(m.cons)),
+	}
+	for i, con := range m.cons {
+		c.cons[i] = constraint{
+			name:  con.name,
+			terms: append([]Term(nil), con.terms...),
+			rel:   con.rel,
+			rhs:   con.rhs,
+		}
+	}
+	return c
+}

@@ -1,0 +1,177 @@
+// Package lp implements a self-contained linear programming solver — a
+// dense two-phase primal simplex — plus a branch-and-bound wrapper for
+// mixed-integer programs.
+//
+// SLATE's global controller formulates request routing as an
+// optimization (paper §3.3: "formulated as a Mixed Integer Linear
+// Program"). With convex piecewise-linear latency costs the continuous
+// relaxation is exact, so the hot path is pure LP; branch-and-bound
+// covers integral extensions such as all-or-nothing class pinning. The
+// solver is deliberately dense and simple: SLATE's per-application
+// models have hundreds of variables, far below the scale where sparse
+// revised simplex or interior point methods pay off.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Var identifies a decision variable within a Model.
+type Var int
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // ≤
+	GE            // ≥
+	EQ            // =
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Rel(%d)", int(r))
+	}
+}
+
+// Term is one coefficient of a linear expression.
+type Term struct {
+	Var  Var
+	Coef float64
+}
+
+type variable struct {
+	name    string
+	obj     float64
+	upper   float64 // +Inf when unbounded above
+	integer bool
+}
+
+type constraint struct {
+	name  string
+	terms []Term
+	rel   Rel
+	rhs   float64
+}
+
+// Model is a linear (or mixed-integer) program under construction:
+// minimize c·x subject to linear constraints, x ≥ 0, with optional
+// upper bounds and integrality marks. Not safe for concurrent use.
+type Model struct {
+	vars []variable
+	cons []constraint
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// AddVar adds a variable with objective coefficient obj and domain
+// x ≥ 0 (no upper bound). The name is used in error messages only.
+func (m *Model) AddVar(name string, obj float64) Var {
+	m.vars = append(m.vars, variable{name: name, obj: obj, upper: math.Inf(1)})
+	return Var(len(m.vars) - 1)
+}
+
+// SetUpper bounds the variable above: x ≤ hi.
+func (m *Model) SetUpper(v Var, hi float64) {
+	m.vars[v].upper = hi
+}
+
+// SetInteger marks the variable as integral (used by SolveMILP; Solve
+// ignores the mark and solves the continuous relaxation).
+func (m *Model) SetInteger(v Var) {
+	m.vars[v].integer = true
+}
+
+// SetObj replaces the variable's objective coefficient.
+func (m *Model) SetObj(v Var, obj float64) {
+	m.vars[v].obj = obj
+}
+
+// NumVars returns the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumConstraints returns the number of constraints added so far.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// VarName returns the variable's name.
+func (m *Model) VarName(v Var) string { return m.vars[v].name }
+
+// AddConstraint adds Σ terms rel rhs. Terms referencing the same
+// variable are summed. It returns an error for out-of-range variables
+// or non-finite coefficients.
+func (m *Model) AddConstraint(name string, terms []Term, rel Rel, rhs float64) error {
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: constraint %q has non-finite rhs %v", name, rhs)
+	}
+	merged := make(map[Var]float64, len(terms))
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(m.vars) {
+			return fmt.Errorf("lp: constraint %q references unknown variable %d", name, t.Var)
+		}
+		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+			return fmt.Errorf("lp: constraint %q has non-finite coefficient for %s", name, m.vars[t.Var].name)
+		}
+		merged[t.Var] += t.Coef
+	}
+	out := make([]Term, 0, len(merged))
+	for v := Var(0); int(v) < len(m.vars); v++ {
+		if c, ok := merged[v]; ok && c != 0 {
+			out = append(out, Term{Var: v, Coef: c})
+		}
+	}
+	m.cons = append(m.cons, constraint{name: name, terms: out, rel: rel, rhs: rhs})
+	return nil
+}
+
+// MustConstraint is AddConstraint that panics on error, for construction
+// code whose inputs are programmatically correct.
+func (m *Model) MustConstraint(name string, terms []Term, rel Rel, rhs float64) {
+	if err := m.AddConstraint(name, terms, rel, rhs); err != nil {
+		panic(err)
+	}
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// X holds the value of each variable, indexed by Var. Only valid
+	// when Status == Optimal.
+	X []float64
+}
+
+// Value returns the solved value of v.
+func (s *Solution) Value(v Var) float64 { return s.X[v] }

@@ -1,0 +1,322 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Numerical tolerances for the simplex. eps classifies reduced costs and
+// residuals as zero; pivotEps rejects pivots too small to divide by
+// safely.
+const (
+	eps      = 1e-9
+	pivotEps = 1e-10
+)
+
+// Solve minimizes the model's objective over its constraints using a
+// dense two-phase primal simplex with Bland's anti-cycling rule engaged
+// after a degenerate stretch. Upper bounds registered with SetUpper are
+// expanded into explicit constraints. Integer marks are ignored (this is
+// the continuous relaxation); use SolveMILP to enforce them.
+func (m *Model) Solve() (*Solution, error) {
+	t, err := newTableau(m)
+	if err != nil {
+		return nil, err
+	}
+	return t.solve(m)
+}
+
+// tableau is the standard-form simplex tableau:
+//
+//	rows 0..m-1:  A | b   (b ≥ 0)
+//	row  m:       phase-2 objective (original costs)
+//	row  m+1:     phase-1 objective (artificial costs), dropped after phase 1
+//
+// Columns: n structural vars, then slack/surplus, then artificials, then
+// the rhs column.
+type tableau struct {
+	a       [][]float64
+	rows    int // constraint rows
+	cols    int // total columns excluding rhs
+	n       int // structural variables
+	basis   []int
+	artBase int // first artificial column; artificials are [artBase, cols)
+}
+
+func newTableau(m *Model) (*tableau, error) {
+	type row struct {
+		terms []Term
+		rel   Rel
+		rhs   float64
+		name  string
+	}
+	rowsIn := make([]row, 0, len(m.cons)+len(m.vars))
+	for _, c := range m.cons {
+		rowsIn = append(rowsIn, row{c.terms, c.rel, c.rhs, c.name})
+	}
+	for j, v := range m.vars {
+		if !math.IsInf(v.upper, 1) {
+			if v.upper < 0 {
+				return nil, fmt.Errorf("lp: variable %s has negative upper bound %v", v.name, v.upper)
+			}
+			rowsIn = append(rowsIn, row{[]Term{{Var(j), 1}}, LE, v.upper, v.name + "#ub"})
+		}
+	}
+
+	nRows := len(rowsIn)
+	n := len(m.vars)
+	// Count extra columns.
+	nSlack, nArt := 0, 0
+	for _, r := range rowsIn {
+		rhs, rel := r.rhs, r.rel
+		if rhs < 0 { // normalization flips the relation
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	t := &tableau{
+		rows:    nRows,
+		n:       n,
+		cols:    n + nSlack + nArt,
+		artBase: n + nSlack,
+		basis:   make([]int, nRows),
+	}
+	t.a = make([][]float64, nRows+2)
+	for i := range t.a {
+		t.a[i] = make([]float64, t.cols+1)
+	}
+	slackCol, artCol := n, t.artBase
+	for i, r := range rowsIn {
+		sign := 1.0
+		rel := r.rel
+		if r.rhs < 0 {
+			sign = -1
+			rel = flip(rel)
+		}
+		for _, term := range r.terms {
+			t.a[i][term.Var] = sign * term.Coef
+		}
+		t.a[i][t.cols] = sign * r.rhs
+		switch rel {
+		case LE:
+			t.a[i][slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i][slackCol] = -1
+			slackCol++
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+	// Phase-2 objective row: original costs (minimization).
+	for j, v := range m.vars {
+		t.a[nRows][j] = v.obj
+	}
+	// Phase-1 objective row: sum of artificials.
+	for j := t.artBase; j < t.cols; j++ {
+		t.a[nRows+1][j] = 1
+	}
+	return t, nil
+}
+
+func flip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+func (t *tableau) solve(m *Model) (*Solution, error) {
+	objRow1 := t.rows + 1 // phase-1 row
+	objRow2 := t.rows     // phase-2 row
+
+	// Price out the initial basis from the phase-1 row (artificials have
+	// cost 1 and are basic).
+	for i := 0; i < t.rows; i++ {
+		if t.basis[i] >= t.artBase {
+			addRow(t.a[objRow1], t.a[i], -1)
+		}
+	}
+	if t.hasArtificials() {
+		if err := t.iterate(objRow1, true); err != nil {
+			return nil, err
+		}
+		if t.a[objRow1][t.cols] < -eps {
+			// Phase-1 optimum > 0 (the row stores the negated objective).
+			return &Solution{Status: Infeasible}, nil
+		}
+		t.driveOutArtificials()
+	}
+	// Price out the basis from the phase-2 row.
+	for i := 0; i < t.rows; i++ {
+		b := t.basis[i]
+		if c := t.a[objRow2][b]; c != 0 {
+			addRow(t.a[objRow2], t.a[i], -c)
+		}
+	}
+	if err := t.iterate(objRow2, false); err != nil {
+		if err == errUnbounded {
+			return &Solution{Status: Unbounded}, nil
+		}
+		return nil, err
+	}
+	sol := &Solution{Status: Optimal, X: make([]float64, t.n)}
+	for i, b := range t.basis {
+		if b < t.n {
+			sol.X[b] = t.a[i][t.cols]
+		}
+	}
+	var obj float64
+	for j, v := range m.vars {
+		obj += v.obj * sol.X[j]
+	}
+	sol.Objective = obj
+	return sol, nil
+}
+
+var errUnbounded = fmt.Errorf("lp: unbounded")
+
+func (t *tableau) hasArtificials() bool { return t.artBase < t.cols }
+
+// iterate runs primal simplex pivots until the objective row objRow has
+// no negative reduced costs. phase1 restricts nothing extra here (the
+// artificial columns participate); in phase 2, artificial columns are
+// barred from entering.
+func (t *tableau) iterate(objRow int, phase1 bool) error {
+	maxIter := 200 * (t.rows + t.cols + 10)
+	degenerate := 0
+	bland := false
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return fmt.Errorf("lp: simplex exceeded %d iterations", maxIter)
+		}
+		enter := t.chooseEntering(objRow, phase1, bland)
+		if enter < 0 {
+			return nil // optimal for this phase
+		}
+		leave := t.chooseLeaving(enter, bland)
+		if leave < 0 {
+			return errUnbounded
+		}
+		if t.a[leave][t.cols] < eps {
+			degenerate++
+			if degenerate > 2*(t.rows+1) {
+				bland = true // anti-cycling
+			}
+		} else {
+			degenerate = 0
+			bland = false
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *tableau) chooseEntering(objRow int, phase1, bland bool) int {
+	best, bestVal := -1, -eps
+	for j := 0; j < t.cols; j++ {
+		if !phase1 && j >= t.artBase {
+			continue // artificials may not re-enter in phase 2
+		}
+		c := t.a[objRow][j]
+		if c < -eps {
+			if bland {
+				return j // first improving column (Bland's rule)
+			}
+			if c < bestVal {
+				bestVal = c
+				best = j
+			}
+		}
+	}
+	return best
+}
+
+func (t *tableau) chooseLeaving(enter int, bland bool) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.rows; i++ {
+		pivot := t.a[i][enter]
+		if pivot <= pivotEps {
+			continue
+		}
+		ratio := t.a[i][t.cols] / pivot
+		if ratio < bestRatio-eps ||
+			(math.Abs(ratio-bestRatio) <= eps && best >= 0 && tieBreak(t.basis[i], t.basis[best], bland)) {
+			bestRatio = ratio
+			best = i
+		}
+	}
+	return best
+}
+
+// tieBreak prefers candidate over incumbent among equal min-ratio rows.
+// Under Bland's rule, pick the smallest basis index (guarantees
+// termination); otherwise prefer kicking artificials out first.
+func tieBreak(candidate, incumbent int, bland bool) bool {
+	if bland {
+		return candidate < incumbent
+	}
+	return candidate > incumbent
+}
+
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	scaleRow(t.a[row], 1/p)
+	for i := range t.a {
+		if i == row {
+			continue
+		}
+		if c := t.a[i][col]; c != 0 {
+			addRow(t.a[i], t.a[row], -c)
+			t.a[i][col] = 0 // cancel roundoff exactly
+		}
+	}
+	t.basis[row] = col
+}
+
+// driveOutArtificials pivots any artificial still basic at value ~0 out
+// of the basis; if a row has no eligible pivot it is redundant and the
+// artificial stays at zero harmlessly (it cannot re-enter in phase 2).
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.rows; i++ {
+		if t.basis[i] < t.artBase {
+			continue
+		}
+		for j := 0; j < t.artBase; j++ {
+			if math.Abs(t.a[i][j]) > pivotEps {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}
+
+func scaleRow(row []float64, f float64) {
+	for j := range row {
+		row[j] *= f
+	}
+}
+
+func addRow(dst, src []float64, f float64) {
+	for j := range dst {
+		dst[j] += f * src[j]
+	}
+}

@@ -1,0 +1,53 @@
+// Package netem injects emulated inter-cluster network latency into
+// wall-clock runtimes — the stand-in for the paper's use of Linux `tc`
+// on its multi-node testbed (§4: "inter-cluster network latency added
+// using Linux's tc command"). Every cross-cluster hop in the loopback
+// emulation sleeps for the topology's one-way delay before delivery.
+package netem
+
+import (
+	"context"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// Emulator injects one-way delays from a topology's RTT matrix. Scale
+// compresses delays for fast tests (0.1 makes a 40ms RTT cost 4ms).
+type Emulator struct {
+	top   *topology.Topology
+	scale float64
+}
+
+// New returns an emulator over the topology. scale <= 0 means 1.0.
+func New(top *topology.Topology, scale float64) *Emulator {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Emulator{top: top, scale: scale}
+}
+
+// OneWay returns the emulated one-way delay between clusters.
+func (e *Emulator) OneWay(from, to topology.ClusterID) time.Duration {
+	if from == to {
+		return 0
+	}
+	return time.Duration(float64(e.top.OneWay(from, to)) * e.scale)
+}
+
+// Sleep blocks for the one-way delay between clusters, returning early
+// (with the context's error) if ctx is cancelled.
+func (e *Emulator) Sleep(ctx context.Context, from, to topology.ClusterID) error {
+	d := e.OneWay(from, to)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

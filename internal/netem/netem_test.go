@@ -1,0 +1,68 @@
+package netem
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+func TestOneWayHalvesRTTAndScales(t *testing.T) {
+	top := topology.TwoClusters(40 * time.Millisecond)
+	e := New(top, 1)
+	if d := e.OneWay(topology.West, topology.East); d != 20*time.Millisecond {
+		t.Errorf("OneWay = %v, want 20ms", d)
+	}
+	if d := e.OneWay(topology.West, topology.West); d != 0 {
+		t.Errorf("intra-cluster delay = %v, want 0", d)
+	}
+	scaled := New(top, 0.25)
+	if d := scaled.OneWay(topology.West, topology.East); d != 5*time.Millisecond {
+		t.Errorf("scaled OneWay = %v, want 5ms", d)
+	}
+	// scale <= 0 means 1.
+	def := New(top, 0)
+	if d := def.OneWay(topology.West, topology.East); d != 20*time.Millisecond {
+		t.Errorf("default-scale OneWay = %v, want 20ms", d)
+	}
+}
+
+func TestSleepBlocksForDelay(t *testing.T) {
+	top := topology.TwoClusters(40 * time.Millisecond)
+	e := New(top, 1)
+	start := time.Now()
+	if err := e.Sleep(context.Background(), topology.West, topology.East); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Errorf("slept %v, want >= 20ms", el)
+	}
+}
+
+func TestSleepZeroDelayReturnsImmediately(t *testing.T) {
+	top := topology.TwoClusters(40 * time.Millisecond)
+	e := New(top, 1)
+	start := time.Now()
+	if err := e.Sleep(context.Background(), topology.West, topology.West); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 5*time.Millisecond {
+		t.Errorf("intra-cluster sleep took %v", el)
+	}
+}
+
+func TestSleepHonorsCancellation(t *testing.T) {
+	top := topology.TwoClusters(10 * time.Second)
+	e := New(top, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := e.Sleep(ctx, topology.West, topology.East)
+	if err == nil {
+		t.Fatal("cancelled sleep returned nil")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("cancellation took %v", el)
+	}
+}

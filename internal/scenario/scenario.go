@@ -1,0 +1,301 @@
+// Package scenario loads experiment/deployment descriptions from JSON
+// files — the configuration surface of the slatectl, slate-global and
+// slate-emul commands. A scenario file names a topology, an application
+// (either one of the paper's presets or a fully explicit service/class
+// graph), and per-class per-cluster demand.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// File is the top-level scenario document.
+type File struct {
+	Topology TopologySpec                  `json:"topology"`
+	App      AppSpec                       `json:"app"`
+	Demand   map[string]map[string]float64 `json:"demand"`
+}
+
+// TopologySpec describes clusters and links.
+type TopologySpec struct {
+	// Preset selects a built-in topology: "gcp" or "two-clusters".
+	Preset string `json:"preset,omitempty"`
+	// RTTMS applies to the "two-clusters" preset (default 40).
+	RTTMS float64 `json:"rtt_ms,omitempty"`
+	// DefaultEgressPerGB prices unlisted links (explicit topologies).
+	DefaultEgressPerGB float64       `json:"default_egress_per_gb,omitempty"`
+	Clusters           []ClusterSpec `json:"clusters,omitempty"`
+	Links              []LinkSpec    `json:"links,omitempty"`
+}
+
+// ClusterSpec declares one cluster.
+type ClusterSpec struct {
+	ID     string `json:"id"`
+	Region string `json:"region,omitempty"`
+}
+
+// LinkSpec declares one inter-cluster link.
+type LinkSpec struct {
+	A           string  `json:"a"`
+	B           string  `json:"b"`
+	RTTMS       float64 `json:"rtt_ms"`
+	EgressPerGB float64 `json:"egress_per_gb,omitempty"`
+}
+
+// AppSpec describes the application: a named preset with options, or an
+// explicit service/class graph.
+type AppSpec struct {
+	// Preset: "linear-chain", "anomaly-detection", "two-class",
+	// "fanout". Empty means explicit.
+	Preset string `json:"preset,omitempty"`
+	// PresetOptions passes preset knobs (subset per preset):
+	// services, mean_service_time_ms, replicas, concurrency, clusters,
+	// width, light_ms, heavy_ms, metrics_bytes, response_ratio,
+	// db_clusters.
+	PresetOptions map[string]any `json:"preset_options,omitempty"`
+
+	Services []ServiceSpec `json:"services,omitempty"`
+	Classes  []ClassSpec   `json:"classes,omitempty"`
+	Name     string        `json:"name,omitempty"`
+}
+
+// ServiceSpec declares one service and its placements.
+type ServiceSpec struct {
+	ID        string                   `json:"id"`
+	Placement map[string]PlacementSpec `json:"placement"`
+}
+
+// PlacementSpec sizes a pool.
+type PlacementSpec struct {
+	Replicas    int `json:"replicas"`
+	Concurrency int `json:"concurrency"`
+}
+
+// ClassSpec declares one traffic class.
+type ClassSpec struct {
+	Name string   `json:"name"`
+	Root CallSpec `json:"root"`
+}
+
+// CallSpec is one call-tree node.
+type CallSpec struct {
+	Service       string     `json:"service"`
+	Method        string     `json:"method"`
+	Path          string     `json:"path"`
+	ServiceTimeMS float64    `json:"service_time_ms"`
+	Deterministic bool       `json:"deterministic,omitempty"`
+	RequestBytes  int64      `json:"request_bytes,omitempty"`
+	ResponseBytes int64      `json:"response_bytes,omitempty"`
+	Count         int        `json:"count,omitempty"`
+	Parallel      bool       `json:"parallel,omitempty"`
+	Children      []CallSpec `json:"children,omitempty"`
+}
+
+// Load reads and materializes a scenario file.
+func Load(path string) (*topology.Topology, *appgraph.App, core.Demand, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, nil, fmt.Errorf("scenario: parse %s: %w", path, err)
+	}
+	return f.Materialize()
+}
+
+// Materialize converts the document into model objects and validates
+// them.
+func (f *File) Materialize() (*topology.Topology, *appgraph.App, core.Demand, error) {
+	top, err := f.Topology.build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	app, err := f.App.build(top)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := app.Validate(top); err != nil {
+		return nil, nil, nil, fmt.Errorf("scenario: %w", err)
+	}
+	demand := core.Demand{}
+	for class, per := range f.Demand {
+		if app.Class(class) == nil {
+			return nil, nil, nil, fmt.Errorf("scenario: demand for unknown class %q", class)
+		}
+		demand[class] = map[topology.ClusterID]float64{}
+		for cl, rps := range per {
+			if !top.Has(topology.ClusterID(cl)) {
+				return nil, nil, nil, fmt.Errorf("scenario: demand in unknown cluster %q", cl)
+			}
+			demand[class][topology.ClusterID(cl)] = rps
+		}
+	}
+	return top, app, demand, nil
+}
+
+func (t *TopologySpec) build() (*topology.Topology, error) {
+	switch t.Preset {
+	case "gcp":
+		return topology.GCPTopology(), nil
+	case "two-clusters":
+		rtt := t.RTTMS
+		if rtt <= 0 {
+			rtt = 40
+		}
+		return topology.TwoClusters(time.Duration(rtt * float64(time.Millisecond))), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology preset %q", t.Preset)
+	}
+	egress := t.DefaultEgressPerGB
+	if egress == 0 {
+		egress = topology.DefaultEgressPerGB
+	}
+	b := topology.NewBuilder(egress)
+	for _, c := range t.Clusters {
+		b.AddCluster(topology.ClusterID(c.ID), c.Region)
+	}
+	for _, l := range t.Links {
+		b.SetRTT(topology.ClusterID(l.A), topology.ClusterID(l.B),
+			time.Duration(l.RTTMS*float64(time.Millisecond)))
+		if l.EgressPerGB > 0 {
+			b.SetEgressCost(topology.ClusterID(l.A), topology.ClusterID(l.B), l.EgressPerGB)
+		}
+	}
+	return b.Build()
+}
+
+func (a *AppSpec) build(top *topology.Topology) (*appgraph.App, error) {
+	if a.Preset != "" {
+		return buildPreset(a.Preset, a.PresetOptions, top)
+	}
+	if len(a.Services) == 0 || len(a.Classes) == 0 {
+		return nil, fmt.Errorf("scenario: explicit app needs services and classes")
+	}
+	app := &appgraph.App{Name: a.Name, Services: map[appgraph.ServiceID]*appgraph.Service{}}
+	if app.Name == "" {
+		app.Name = "scenario"
+	}
+	for _, s := range a.Services {
+		svc := &appgraph.Service{
+			ID:        appgraph.ServiceID(s.ID),
+			Placement: map[topology.ClusterID]appgraph.ReplicaPool{},
+		}
+		for cl, p := range s.Placement {
+			svc.Placement[topology.ClusterID(cl)] = appgraph.ReplicaPool{
+				Replicas:    p.Replicas,
+				Concurrency: p.Concurrency,
+			}
+		}
+		app.Services[svc.ID] = svc
+	}
+	for _, c := range a.Classes {
+		root := c.Root.toNode()
+		app.Classes = append(app.Classes, &appgraph.Class{Name: c.Name, Root: root})
+	}
+	return app, nil
+}
+
+func (c *CallSpec) toNode() *appgraph.CallNode {
+	count := c.Count
+	if count == 0 {
+		count = 1
+	}
+	dist := appgraph.DistExponential
+	if c.Deterministic {
+		dist = appgraph.DistDeterministic
+	}
+	n := &appgraph.CallNode{
+		Service: appgraph.ServiceID(c.Service),
+		Method:  c.Method,
+		Path:    c.Path,
+		Count:   count,
+		Work: appgraph.Work{
+			MeanServiceTime: time.Duration(c.ServiceTimeMS * float64(time.Millisecond)),
+			Dist:            dist,
+			RequestBytes:    c.RequestBytes,
+			ResponseBytes:   c.ResponseBytes,
+		},
+		Parallel: c.Parallel,
+	}
+	for i := range c.Children {
+		n.Children = append(n.Children, c.Children[i].toNode())
+	}
+	return n
+}
+
+func buildPreset(name string, opts map[string]any, top *topology.Topology) (*appgraph.App, error) {
+	num := func(key string, def float64) float64 {
+		if v, ok := opts[key]; ok {
+			if f, ok := v.(float64); ok {
+				return f
+			}
+		}
+		return def
+	}
+	clusters := top.ClusterIDs()
+	if v, ok := opts["clusters"]; ok {
+		if list, ok := v.([]any); ok {
+			clusters = nil
+			for _, e := range list {
+				if s, ok := e.(string); ok {
+					clusters = append(clusters, topology.ClusterID(s))
+				}
+			}
+		}
+	}
+	pool := appgraph.ReplicaPool{
+		Replicas:    int(num("replicas", 2)),
+		Concurrency: int(num("concurrency", 4)),
+	}
+	switch name {
+	case "linear-chain":
+		return appgraph.LinearChain(appgraph.ChainOptions{
+			Services:        int(num("services", 3)),
+			MeanServiceTime: time.Duration(num("mean_service_time_ms", 10) * float64(time.Millisecond)),
+			Pool:            pool,
+			Clusters:        clusters,
+		}), nil
+	case "anomaly-detection":
+		var dbClusters []topology.ClusterID
+		if v, ok := opts["db_clusters"]; ok {
+			if list, ok := v.([]any); ok {
+				for _, e := range list {
+					if s, ok := e.(string); ok {
+						dbClusters = append(dbClusters, topology.ClusterID(s))
+					}
+				}
+			}
+		}
+		return appgraph.AnomalyDetection(appgraph.AnomalyOptions{
+			Clusters:      clusters,
+			DBClusters:    dbClusters,
+			MetricsBytes:  int64(num("metrics_bytes", 0)),
+			ResponseRatio: int64(num("response_ratio", 0)),
+			Pool:          pool,
+		}), nil
+	case "two-class":
+		return appgraph.TwoClassApp(appgraph.TwoClassOptions{
+			Clusters:  clusters,
+			LightTime: time.Duration(num("light_ms", 2) * float64(time.Millisecond)),
+			HeavyTime: time.Duration(num("heavy_ms", 20) * float64(time.Millisecond)),
+			Pool:      pool,
+		}), nil
+	case "fanout":
+		return appgraph.FanoutApp(appgraph.FanoutOptions{
+			Clusters: clusters,
+			Width:    int(num("width", 3)),
+			Pool:     pool,
+		}), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown app preset %q", name)
+	}
+}

@@ -1,0 +1,190 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel owns a virtual clock and a priority queue of timed events.
+// All model code runs inside event callbacks; callbacks schedule further
+// events. Time never advances except by popping the next event, so a
+// simulation driven by seeded random streams is bit-reproducible.
+//
+// The kernel is intentionally single-threaded: SLATE's benchmark harness
+// sweeps hundreds of scenario configurations, and a virtual-time simulator
+// with no synchronization is orders of magnitude faster (and perfectly
+// deterministic) compared to a wall-clock emulation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp measured as a time.Duration since the start
+// of the simulation. Using Duration keeps call sites readable
+// (sim.Time(50*time.Millisecond)) and interoperates with the wall-clock
+// emulation runtime, which shares scenario definitions with the simulator.
+type Time time.Duration
+
+// Duration converts t to a time.Duration since simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Event is a scheduled callback. The callback receives the kernel so it
+// can schedule follow-up events.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO order among events at the same time
+	fn   func(*Kernel)
+	idx  int // heap index, -1 once popped or cancelled
+	dead bool
+}
+
+// Handle identifies a scheduled event and allows cancelling it.
+type Handle struct{ ev *event }
+
+// Cancel removes the event from the schedule. Cancelling an event that
+// already fired (or was already cancelled) is a no-op. Cancel reports
+// whether the event was still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.dead || h.ev.idx < 0 {
+		return false
+	}
+	h.ev.dead = true
+	return true
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is the discrete-event simulation engine. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	nEvents uint64
+}
+
+// NewKernel returns a kernel with the clock at zero and an empty schedule.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.queue)
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsProcessed reports how many events have fired so far.
+func (k *Kernel) EventsProcessed() uint64 { return k.nEvents }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past panics: it is always a model bug, and silently reordering events
+// would destroy reproducibility.
+func (k *Kernel) At(at Time, fn func(*Kernel)) Handle {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
+	}
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (k *Kernel) After(d time.Duration, fn func(*Kernel)) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+Time(d), fn)
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Pending reports the number of events still scheduled.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, ev := range k.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes events until the schedule is empty or Stop is called.
+func (k *Kernel) Run() { k.RunUntil(MaxTime) }
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if any events remain beyond it, they stay scheduled).
+// It returns early if Stop is called or the schedule drains.
+func (k *Kernel) RunUntil(deadline Time) {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		next := k.queue[0]
+		if next.at > deadline {
+			k.now = deadline
+			return
+		}
+		heap.Pop(&k.queue)
+		if next.dead {
+			continue
+		}
+		k.now = next.at
+		k.nEvents++
+		next.fn(k)
+	}
+	if !k.stopped && deadline != MaxTime && k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// Step executes exactly one pending event (skipping cancelled ones) and
+// reports whether an event fired.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		next := heap.Pop(&k.queue).(*event)
+		if next.dead {
+			continue
+		}
+		k.now = next.at
+		k.nEvents++
+		next.fn(k)
+		return true
+	}
+	return false
+}

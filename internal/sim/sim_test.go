@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelOrdersEventsByTime(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(Time(30*time.Millisecond), func(*Kernel) { got = append(got, 3) })
+	k.At(Time(10*time.Millisecond), func(*Kernel) { got = append(got, 1) })
+	k.At(Time(20*time.Millisecond), func(*Kernel) { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if k.Now() != Time(30*time.Millisecond) {
+		t.Errorf("Now() = %v, want 30ms", k.Now())
+	}
+}
+
+func TestKernelFIFOAtSameTimestamp(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(Time(5*time.Millisecond), func(*Kernel) { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("events at same timestamp not FIFO: pos %d got %d", i, v)
+		}
+	}
+}
+
+func TestKernelAfterChains(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	var step func(*Kernel)
+	step = func(kk *Kernel) {
+		times = append(times, kk.Now())
+		if len(times) < 5 {
+			kk.After(10*time.Millisecond, step)
+		}
+	}
+	k.After(10*time.Millisecond, step)
+	k.Run()
+	if len(times) != 5 {
+		t.Fatalf("got %d firings, want 5", len(times))
+	}
+	for i, ts := range times {
+		want := Time(time.Duration(i+1) * 10 * time.Millisecond)
+		if ts != want {
+			t.Errorf("firing %d at %v, want %v", i, ts, want)
+		}
+	}
+}
+
+func TestKernelSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(Time(10*time.Millisecond), func(kk *Kernel) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		kk.At(Time(5*time.Millisecond), func(*Kernel) {})
+	})
+	k.Run()
+}
+
+func TestKernelNegativeAfterClampsToNow(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.After(-time.Second, func(*Kernel) { fired = true })
+	k.Run()
+	if !fired {
+		t.Error("event with negative delay never fired")
+	}
+	if k.Now() != 0 {
+		t.Errorf("Now() = %v, want 0", k.Now())
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	h := k.At(Time(time.Millisecond), func(*Kernel) { fired = true })
+	if !h.Cancel() {
+		t.Error("first Cancel returned false")
+	}
+	if h.Cancel() {
+		t.Error("second Cancel returned true")
+	}
+	k.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestKernelCancelAfterFireIsNoop(t *testing.T) {
+	k := NewKernel()
+	h := k.At(0, func(*Kernel) {})
+	k.Run()
+	if h.Cancel() {
+		t.Error("Cancel after firing returned true")
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	for i := 1; i <= 10; i++ {
+		k.At(Time(time.Duration(i)*time.Millisecond), func(kk *Kernel) {
+			n++
+			if n == 3 {
+				kk.Stop()
+			}
+		})
+	}
+	k.Run()
+	if n != 3 {
+		t.Errorf("processed %d events after Stop, want 3", n)
+	}
+	if k.Pending() != 7 {
+		t.Errorf("Pending() = %d, want 7", k.Pending())
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		d := Time(time.Duration(i) * 10 * time.Millisecond)
+		k.At(d, func(kk *Kernel) { fired = append(fired, kk.Now()) })
+	}
+	k.RunUntil(Time(25 * time.Millisecond))
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if k.Now() != Time(25*time.Millisecond) {
+		t.Errorf("Now() = %v, want 25ms (clock advances to deadline)", k.Now())
+	}
+	k.RunUntil(Time(100 * time.Millisecond))
+	if len(fired) != 5 {
+		t.Errorf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestKernelStep(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.At(0, func(*Kernel) { n++ })
+	k.At(0, func(*Kernel) { n++ })
+	if !k.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if n != 1 {
+		t.Fatalf("n = %d after one Step, want 1", n)
+	}
+	if !k.Step() {
+		t.Fatal("Step returned false with one pending event")
+	}
+	if k.Step() {
+		t.Fatal("Step returned true with empty schedule")
+	}
+}
+
+func TestKernelEventsProcessedSkipsCancelled(t *testing.T) {
+	k := NewKernel()
+	h := k.At(0, func(*Kernel) {})
+	k.At(Time(time.Millisecond), func(*Kernel) {})
+	h.Cancel()
+	k.Run()
+	if k.EventsProcessed() != 1 {
+		t.Errorf("EventsProcessed() = %d, want 1", k.EventsProcessed())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestRNGDeriveIndependence(t *testing.T) {
+	// Child streams with different ids must differ; a fixed id must be
+	// reproducible from an equivalent parent.
+	p1, p2 := NewRNG(7), NewRNG(7)
+	c1, c2 := p1.Derive(1), p2.Derive(1)
+	for i := 0; i < 100; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("derived streams with same lineage diverged")
+		}
+	}
+	d1 := NewRNG(7).Derive(1)
+	d2 := NewRNG(7).Derive(2)
+	same := true
+	for i := 0; i < 16; i++ {
+		if d1.Float64() != d2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("streams derived with different ids are identical")
+	}
+}
+
+func TestRNGDeriveNamedReproducible(t *testing.T) {
+	a := NewRNG(3).DeriveNamed("svc-a/cluster-west")
+	b := NewRNG(3).DeriveNamed("svc-a/cluster-west")
+	for i := 0; i < 64; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatal("named derivation is not reproducible")
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(11)
+	const mean = 25.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean) > mean*0.02 {
+		t.Errorf("exponential sample mean = %.3f, want ~%.1f", got, mean)
+	}
+}
+
+func TestRNGExpNonPositiveMean(t *testing.T) {
+	g := NewRNG(1)
+	if g.Exp(0) != 0 || g.Exp(-5) != 0 {
+		t.Error("Exp with non-positive mean should return 0")
+	}
+}
+
+func TestRNGNormTruncatesAtZero(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		if v := g.Norm(0.1, 10); v < 0 {
+			t.Fatalf("Norm returned negative value %v", v)
+		}
+	}
+}
+
+func TestKernelManyEventsProperty(t *testing.T) {
+	// Property: for any set of delays, events fire in nondecreasing time
+	// order and the final clock equals the max delay.
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		var fired []Time
+		var maxT Time
+		for _, d := range delays {
+			at := Time(time.Duration(d) * time.Microsecond)
+			if at > maxT {
+				maxT = at
+			}
+			k.At(at, func(kk *Kernel) { fired = append(fired, kk.Now()) })
+		}
+		k.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || k.Now() == maxT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

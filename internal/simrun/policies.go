@@ -1,0 +1,77 @@
+package simrun
+
+import (
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/baseline"
+	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/telemetry"
+)
+
+// Static wraps a fixed routing table as a Policy (locality failover,
+// local-only, or any precomputed plan).
+func Static(name string, table *routing.Table) Policy {
+	return &staticPolicy{name: name, table: table}
+}
+
+type staticPolicy struct {
+	name  string
+	table *routing.Table
+}
+
+func (p *staticPolicy) Name() string                  { return p.name }
+func (p *staticPolicy) Init() (*routing.Table, error) { return p.table, nil }
+func (p *staticPolicy) Tick([]telemetry.WindowStats, time.Duration) (*routing.Table, error) {
+	return p.table, nil
+}
+
+// SLATE wraps a core.Controller as a Policy. When primeOnInit is true
+// the controller optimizes once from its seeded demand before the run
+// starts (steady-state experiments); otherwise it starts all-local and
+// converges through telemetry ticks (adaptation experiments).
+func SLATE(ctrl *core.Controller, primeOnInit bool) Policy {
+	return &slatePolicy{ctrl: ctrl, prime: primeOnInit}
+}
+
+type slatePolicy struct {
+	ctrl  *core.Controller
+	prime bool
+}
+
+func (p *slatePolicy) Name() string { return "slate" }
+
+func (p *slatePolicy) Init() (*routing.Table, error) {
+	if p.prime {
+		return p.ctrl.Prime()
+	}
+	return p.ctrl.Table(), nil
+}
+
+func (p *slatePolicy) Tick(stats []telemetry.WindowStats, window time.Duration) (*routing.Table, error) {
+	return p.ctrl.Tick(stats, window)
+}
+
+// Waterfall wraps a baseline.Controller as a Policy, with the same
+// priming semantics as SLATE.
+func Waterfall(ctrl *baseline.Controller, primeOnInit bool) Policy {
+	return &waterfallPolicy{ctrl: ctrl, prime: primeOnInit}
+}
+
+type waterfallPolicy struct {
+	ctrl  *baseline.Controller
+	prime bool
+}
+
+func (p *waterfallPolicy) Name() string { return "waterfall" }
+
+func (p *waterfallPolicy) Init() (*routing.Table, error) {
+	if p.prime {
+		return p.ctrl.Prime()
+	}
+	return p.ctrl.Table(), nil
+}
+
+func (p *waterfallPolicy) Tick(stats []telemetry.WindowStats, window time.Duration) (*routing.Table, error) {
+	return p.ctrl.Tick(stats, window)
+}

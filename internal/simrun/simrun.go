@@ -1,0 +1,605 @@
+// Package simrun executes SLATE experiment scenarios on the
+// discrete-event simulation kernel: microservice replica pools with
+// FIFO multi-server queues, call-tree execution with per-class service
+// demands, inter-cluster network delays, egress accounting, periodic
+// telemetry collection, and a pluggable routing policy driven on
+// virtual time.
+//
+// This is the substitute for the paper's multi-node Kubernetes testbed
+// (see DESIGN.md): the quantities the experiments measure — queueing
+// latency as a function of load, added network RTT, and cross-cluster
+// bytes — are exactly the quantities the simulator models, and virtual
+// time makes parameter sweeps deterministic and fast on a single core.
+package simrun
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/sim"
+	"github.com/servicelayernetworking/slate/internal/telemetry"
+	"github.com/servicelayernetworking/slate/internal/topology"
+	"github.com/servicelayernetworking/slate/internal/workload"
+)
+
+// Policy produces routing tables for the runner. Implementations wrap
+// core.Controller (SLATE), baseline.Controller (Waterfall), or a static
+// table.
+type Policy interface {
+	// Name labels results.
+	Name() string
+	// Init returns the table to use from time zero.
+	Init() (*routing.Table, error)
+	// Tick ingests one telemetry window and returns the table to use
+	// until the next tick. Errors are recorded but not fatal: the
+	// previous table keeps serving (as a real control plane would).
+	Tick(stats []telemetry.WindowStats, window time.Duration) (*routing.Table, error)
+}
+
+// Scenario describes one experiment run.
+type Scenario struct {
+	Name string
+	Top  *topology.Topology
+	App  *appgraph.App
+	// Workload lists the arrival streams (one per class/cluster).
+	Workload []workload.Spec
+	// Duration is the virtual run length; Warmup excludes the initial
+	// transient from results.
+	Duration time.Duration
+	Warmup   time.Duration
+	// ControlPeriod is the telemetry window / policy tick interval.
+	// Zero disables ticking (static policy only).
+	ControlPeriod time.Duration
+	// Seed makes the run reproducible. Runs with the same seed replay
+	// identical arrival processes and service-time draws under
+	// different policies (paired comparison).
+	Seed int64
+	// Autoscaler, when non-nil, enables HPA-style horizontal scaling of
+	// every replica pool (paper §5 "interaction between request routing
+	// and autoscaler").
+	Autoscaler *AutoscalerConfig
+}
+
+// Validate checks the scenario.
+func (s *Scenario) Validate() error {
+	if s.Top == nil || s.App == nil {
+		return fmt.Errorf("simrun: scenario missing topology or app")
+	}
+	if err := s.App.Validate(s.Top); err != nil {
+		return fmt.Errorf("simrun: %w", err)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("simrun: non-positive duration")
+	}
+	if s.Warmup < 0 || s.Warmup >= s.Duration {
+		return fmt.Errorf("simrun: warmup %v outside [0, duration)", s.Warmup)
+	}
+	if len(s.Workload) == 0 {
+		return fmt.Errorf("simrun: no workload streams")
+	}
+	for _, spec := range s.Workload {
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+		if s.App.Class(spec.Class) == nil {
+			return fmt.Errorf("simrun: workload references unknown class %q", spec.Class)
+		}
+		if !s.Top.Has(spec.Cluster) {
+			return fmt.Errorf("simrun: workload references unknown cluster %q", spec.Cluster)
+		}
+	}
+	return validateAutoscaler(s.Autoscaler)
+}
+
+// ClassResult summarizes completed requests of one class.
+type ClassResult struct {
+	Class     string
+	Completed uint64
+	Mean      time.Duration
+	P50       time.Duration
+	P99       time.Duration
+	// Samples holds every post-warmup end-to-end latency, for CDFs.
+	Samples []time.Duration
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Scenario string
+	Policy   string
+	// PerClass maps class name to its latency summary.
+	PerClass map[string]*ClassResult
+	// Mean/P50/P99 aggregate across classes.
+	Mean, P50, P99 time.Duration
+	Completed      uint64
+	Generated      uint64
+	// EgressBytes / EgressCost accumulate post-warmup cross-cluster
+	// traffic and its dollar cost.
+	EgressBytes int64
+	EgressCost  float64
+	// MeasuredWindow is the post-warmup interval length.
+	MeasuredWindow time.Duration
+	// PolicyErrors counts Tick errors (e.g. transient infeasibility).
+	PolicyErrors int
+	// RemoteFraction is the fraction of calls routed cross-cluster.
+	RemoteFraction float64
+	// LocalServedRPS reports, per cluster, the post-warmup rate of root
+	// requests whose first-hop call stayed in the arrival cluster —
+	// the empirical "routing threshold" of paper Fig. 4.
+	LocalServedRPS map[topology.ClusterID]float64
+	// Timeline records one point per control window (requires
+	// ControlPeriod > 0): the end-to-end mean latency and completion
+	// rate observed in that window — how the system behaves over time,
+	// e.g. through a load burst.
+	Timeline []TimelinePoint
+	// ScaleEvents lists effective autoscaler actions (when enabled).
+	ScaleEvents []ScaleEvent
+	// FinalReplicas reports each pool's replica count at the end of the
+	// run (when the autoscaler is enabled).
+	FinalReplicas map[core.PoolKey]int
+}
+
+// TimelinePoint is one control-window observation.
+type TimelinePoint struct {
+	At   time.Duration // window end, virtual time since start
+	Mean time.Duration // mean end-to-end latency in the window
+	RPS  float64       // completed requests per second in the window
+}
+
+// CDF returns the aggregate end-to-end latency CDF.
+func (r *Result) CDF() []telemetry.CDFPoint {
+	var all []time.Duration
+	for _, cr := range r.PerClass {
+		all = append(all, cr.Samples...)
+	}
+	return telemetry.CDFOf(all)
+}
+
+// pool is one (service, cluster) replica pool: a FIFO queue served by
+// `servers` parallel workers. Workers are held only for a request's own
+// busy time; time spent waiting on child calls does not occupy a worker
+// (async server model, matching the M/M/c abstraction the controller
+// fits).
+type pool struct {
+	key     core.PoolKey
+	servers int
+	busy    int
+	queue   []*poolJob
+	rng     *sim.RNG
+	// busySeconds accumulates server busy time for the autoscaler's
+	// utilization measurement; the autoscaler resets it each period.
+	busySeconds float64
+}
+
+// resize changes the pool's parallel server count. Growth immediately
+// starts queued jobs into the new slots; shrinkage lets running jobs
+// finish and simply stops admitting new ones beyond the target.
+func (p *pool) resize(k *sim.Kernel, servers int) {
+	if servers < 1 {
+		servers = 1
+	}
+	p.servers = servers
+	for p.busy < p.servers && len(p.queue) > 0 {
+		next := p.queue[0]
+		p.queue = p.queue[1:]
+		p.start(k, next)
+	}
+}
+
+type poolJob struct {
+	serviceTime time.Duration
+	enqueued    sim.Time
+	done        func(k *sim.Kernel, sojourn time.Duration)
+}
+
+func (p *pool) submit(k *sim.Kernel, j *poolJob) {
+	j.enqueued = k.Now()
+	if p.busy < p.servers {
+		p.start(k, j)
+		return
+	}
+	p.queue = append(p.queue, j)
+}
+
+func (p *pool) start(k *sim.Kernel, j *poolJob) {
+	p.busy++
+	k.After(j.serviceTime, func(k *sim.Kernel) {
+		p.busy--
+		p.busySeconds += j.serviceTime.Seconds()
+		sojourn := (k.Now() - j.enqueued).Duration()
+		if p.busy < p.servers && len(p.queue) > 0 {
+			next := p.queue[0]
+			p.queue = p.queue[1:]
+			p.start(k, next)
+		}
+		j.done(k, sojourn)
+	})
+}
+
+// drawServiceTime samples a service time for a call node.
+func drawServiceTime(rng *sim.RNG, w appgraph.Work) time.Duration {
+	if w.MeanServiceTime <= 0 {
+		return 0
+	}
+	switch w.Dist {
+	case appgraph.DistDeterministic:
+		return w.MeanServiceTime
+	default:
+		return time.Duration(rng.Exp(w.MeanServiceTime.Seconds()) * float64(time.Second))
+	}
+}
+
+// Run executes the scenario under the policy and returns the result.
+func Run(scn Scenario, pol Policy) (*Result, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	table, err := pol.Init()
+	if err != nil {
+		return nil, fmt.Errorf("simrun: policy init: %w", err)
+	}
+	if table == nil {
+		table = routing.EmptyTable()
+	}
+
+	k := sim.NewKernel()
+	root := sim.NewRNG(scn.Seed)
+
+	r := &runner{
+		k:       k,
+		scn:     scn,
+		table:   table,
+		pol:     pol,
+		pools:   make(map[core.PoolKey]*pool),
+		aggs:    make(map[topology.ClusterID]*telemetry.Aggregator),
+		pickRNG: root.DeriveNamed("routing-picks"),
+		res: &Result{
+			Scenario:       scn.Name,
+			Policy:         pol.Name(),
+			PerClass:       make(map[string]*ClassResult),
+			LocalServedRPS: make(map[topology.ClusterID]float64),
+		},
+	}
+	for sid, svc := range scn.App.Services {
+		for c, pl := range svc.Placement {
+			if pl.Replicas <= 0 {
+				continue
+			}
+			key := core.PoolKey{Service: sid, Cluster: c}
+			r.pools[key] = &pool{
+				key:     key,
+				servers: pl.Servers(),
+				rng:     root.DeriveNamed("svc/" + string(sid) + "@" + string(c)),
+			}
+		}
+	}
+	for _, c := range scn.Top.ClusterIDs() {
+		r.aggs[c] = telemetry.NewAggregator()
+	}
+	for _, cl := range scn.App.Classes {
+		r.res.PerClass[cl.Name] = &ClassResult{Class: cl.Name}
+	}
+
+	// Schedule arrivals (pre-generated so policies see identical loads).
+	for _, spec := range scn.Workload {
+		spec := spec
+		stream := root.DeriveNamed("arrivals/" + spec.Class + "@" + string(spec.Cluster))
+		class := scn.App.Class(spec.Class)
+		for _, at := range workload.Arrivals(spec, scn.Duration, stream) {
+			at := at
+			k.At(sim.Time(at), func(k *sim.Kernel) {
+				r.startRequest(k, class, spec.Cluster)
+			})
+			r.res.Generated++
+		}
+	}
+
+	// Autoscaler loop.
+	var scaler *autoscaler
+	if scn.Autoscaler != nil {
+		conc := map[core.PoolKey]int{}
+		for sid, svc := range scn.App.Services {
+			for c, pl := range svc.Placement {
+				if pl.Replicas > 0 {
+					conc[core.PoolKey{Service: sid, Cluster: c}] = pl.Concurrency
+				}
+			}
+		}
+		cfg := scn.Autoscaler.defaults()
+		scaler = newAutoscaler(cfg, r.pools, conc)
+		var tick func(*sim.Kernel)
+		tick = func(k *sim.Kernel) {
+			scaler.tick(k)
+			if k.Now().Duration()+cfg.Period < scn.Duration {
+				k.After(cfg.Period, tick)
+			}
+		}
+		k.After(cfg.Period, tick)
+	}
+
+	// Control loop.
+	if scn.ControlPeriod > 0 {
+		var tick func(*sim.Kernel)
+		tick = func(k *sim.Kernel) {
+			var groups [][]telemetry.WindowStats
+			for _, c := range scn.Top.ClusterIDs() {
+				groups = append(groups, r.aggs[c].Flush(scn.ControlPeriod))
+			}
+			merged := telemetry.Merge(groups...)
+			r.recordTimeline(k.Now().Duration(), merged, scn.ControlPeriod)
+			if tab, err := r.pol.Tick(merged, scn.ControlPeriod); err != nil {
+				r.res.PolicyErrors++
+			} else if tab != nil {
+				r.table = tab
+			}
+			if k.Now().Duration()+scn.ControlPeriod < scn.Duration {
+				k.After(scn.ControlPeriod, tick)
+			}
+		}
+		k.After(scn.ControlPeriod, tick)
+	}
+
+	// Run to the horizon, then drain in-flight work (arrivals stop at
+	// Duration; completions beyond it still count).
+	k.Run()
+
+	if scaler != nil {
+		r.res.ScaleEvents = scaler.events
+		r.res.FinalReplicas = map[core.PoolKey]int{}
+		for key, p := range r.pools {
+			c := 1
+			if v := scalerConc(scn, key); v > 0 {
+				c = v
+			}
+			r.res.FinalReplicas[key] = p.servers / c
+		}
+	}
+	r.finalize()
+	return r.res, nil
+}
+
+func scalerConc(scn Scenario, key core.PoolKey) int {
+	if svc, ok := scn.App.Services[key.Service]; ok {
+		return svc.Placement[key.Cluster].Concurrency
+	}
+	return 0
+}
+
+type runner struct {
+	k       *sim.Kernel
+	scn     Scenario
+	table   *routing.Table
+	pol     Policy
+	pools   map[core.PoolKey]*pool
+	aggs    map[topology.ClusterID]*telemetry.Aggregator
+	pickRNG *sim.RNG
+	res     *Result
+
+	remoteCalls, totalCalls uint64
+	localServed             map[topology.ClusterID]uint64
+}
+
+// reqCtx carries per-request state through the call tree.
+type reqCtx struct {
+	crossed bool // any hop of this request went cross-cluster
+}
+
+// startRequest launches one root request of class at cluster.
+func (r *runner) startRequest(k *sim.Kernel, class *appgraph.Class, arrival topology.ClusterID) {
+	start := k.Now()
+	afterWarmup := start.Duration() >= r.scn.Warmup
+	ctx := &reqCtx{}
+	r.executeNode(k, ctx, class, class.Root, arrival, arrival, afterWarmup, func(k *sim.Kernel) {
+		if !afterWarmup {
+			return
+		}
+		lat := (k.Now() - start).Duration()
+		cr := r.res.PerClass[class.Name]
+		cr.Samples = append(cr.Samples, lat)
+		cr.Completed++
+		if !ctx.crossed {
+			if r.localServed == nil {
+				r.localServed = make(map[topology.ClusterID]uint64)
+			}
+			r.localServed[arrival]++
+		}
+		r.aggs[arrival].Record(telemetry.MetricKey{
+			Service: telemetry.E2EService,
+			Class:   class.Name,
+			Cluster: string(arrival),
+		}, lat, 0)
+	})
+}
+
+// executeNode runs one call node: route to a cluster, pay the network
+// delay, queue for service, then run children (sequentially or in
+// parallel), and finally pay the response network delay.
+func (r *runner) executeNode(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, node *appgraph.CallNode, src topology.ClusterID, pinned topology.ClusterID, measure bool, done func(*sim.Kernel)) {
+	// Routing decision.
+	var dst topology.ClusterID
+	if node == class.Root {
+		dst = pinned // roots execute at the arrival cluster
+	} else {
+		d := r.table.Lookup(string(node.Service), class.Name, src)
+		dst = d.Pick(r.pickRNG.Float64())
+		if dst == "" || !r.scn.App.Services[node.Service].PlacedIn(dst) {
+			// Misconfigured rule (e.g. table routes to a cluster without
+			// replicas): fail over to any placement, nearest first.
+			dst = r.fallbackCluster(node.Service, src)
+		}
+	}
+	r.totalCalls++
+	remote := dst != src
+	if remote {
+		r.remoteCalls++
+		ctx.crossed = true
+	}
+
+	netOut := time.Duration(0)
+	if remote {
+		netOut = r.scn.Top.OneWay(src, dst)
+		if measure {
+			r.accountEgress(src, dst, node.Work.RequestBytes)
+		}
+	}
+
+	proceed := func(k *sim.Kernel) {
+		pl := r.pools[core.PoolKey{Service: node.Service, Cluster: dst}]
+		job := &poolJob{
+			serviceTime: drawServiceTime(pl.rng, node.Work),
+			done: func(k *sim.Kernel, sojourn time.Duration) {
+				if measure {
+					r.aggs[dst].Record(telemetry.MetricKey{
+						Service: string(node.Service),
+						Class:   class.Name,
+						Cluster: string(dst),
+					}, sojourn, 0)
+				}
+				r.runChildren(k, ctx, class, node, dst, measure, func(k *sim.Kernel) {
+					// Response travels back to the caller.
+					if remote {
+						if measure {
+							r.accountEgress(dst, src, node.Work.ResponseBytes)
+						}
+						k.After(r.scn.Top.OneWay(dst, src), done)
+						return
+					}
+					done(k)
+				})
+			},
+		}
+		pl.submit(k, job)
+	}
+	if netOut > 0 {
+		k.After(netOut, proceed)
+	} else {
+		proceed(k)
+	}
+}
+
+// runChildren executes a node's children per its Parallel flag, then
+// calls done. Each child call with Count > 1 repeats sequentially
+// within its own slot (parallel fan-out applies across children, not
+// within one child's repetitions).
+func (r *runner) runChildren(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, node *appgraph.CallNode, at topology.ClusterID, measure bool, done func(*sim.Kernel)) {
+	children := node.Children
+	if len(children) == 0 {
+		done(k)
+		return
+	}
+	if node.Parallel {
+		remaining := len(children)
+		for _, ch := range children {
+			ch := ch
+			r.repeatCall(k, ctx, class, ch, at, measure, ch.Count, func(k *sim.Kernel) {
+				remaining--
+				if remaining == 0 {
+					done(k)
+				}
+			})
+		}
+		return
+	}
+	var next func(k *sim.Kernel, idx int)
+	next = func(k *sim.Kernel, idx int) {
+		if idx >= len(children) {
+			done(k)
+			return
+		}
+		ch := children[idx]
+		r.repeatCall(k, ctx, class, ch, at, measure, ch.Count, func(k *sim.Kernel) {
+			next(k, idx+1)
+		})
+	}
+	next(k, 0)
+}
+
+// repeatCall issues `count` sequential executions of a child node.
+func (r *runner) repeatCall(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, node *appgraph.CallNode, src topology.ClusterID, measure bool, count int, done func(*sim.Kernel)) {
+	if count <= 0 {
+		done(k)
+		return
+	}
+	r.executeNode(k, ctx, class, node, src, src, measure, func(k *sim.Kernel) {
+		r.repeatCall(k, ctx, class, node, src, measure, count-1, done)
+	})
+}
+
+func (r *runner) fallbackCluster(svc appgraph.ServiceID, src topology.ClusterID) topology.ClusterID {
+	s := r.scn.App.Services[svc]
+	if s.PlacedIn(src) {
+		return src
+	}
+	for _, c := range r.scn.Top.Nearest(src) {
+		if s.PlacedIn(c) {
+			return c
+		}
+	}
+	// Validate() guarantees at least one placement.
+	return s.Clusters(r.scn.Top)[0]
+}
+
+// recordTimeline folds one control window's end-to-end stats into the
+// result's timeline.
+func (r *runner) recordTimeline(at time.Duration, stats []telemetry.WindowStats, window time.Duration) {
+	var latSum float64
+	var n uint64
+	for _, ws := range stats {
+		if ws.Key.Service != telemetry.E2EService {
+			continue
+		}
+		latSum += ws.MeanLatency.Seconds() * float64(ws.Requests)
+		n += ws.Requests
+	}
+	if n == 0 {
+		return
+	}
+	r.res.Timeline = append(r.res.Timeline, TimelinePoint{
+		At:   at,
+		Mean: time.Duration(latSum / float64(n) * float64(time.Second)),
+		RPS:  float64(n) / window.Seconds(),
+	})
+}
+
+func (r *runner) accountEgress(from, to topology.ClusterID, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	r.res.EgressBytes += bytes
+	r.res.EgressCost += r.scn.Top.EgressCost(from, to, bytes)
+	r.aggs[from].Record(telemetry.MetricKey{
+		Service: "__egress__",
+		Class:   routing.AnyClass,
+		Cluster: string(from),
+	}, 0, bytes)
+}
+
+func (r *runner) finalize() {
+	res := r.res
+	res.MeasuredWindow = r.scn.Duration - r.scn.Warmup
+	var all []time.Duration
+	for _, cr := range res.PerClass {
+		if len(cr.Samples) > 0 {
+			cr.Mean = telemetry.MeanOf(cr.Samples)
+			cr.P50 = telemetry.QuantileOf(cr.Samples, 0.50)
+			cr.P99 = telemetry.QuantileOf(cr.Samples, 0.99)
+		}
+		res.Completed += cr.Completed
+		all = append(all, cr.Samples...)
+	}
+	if len(all) > 0 {
+		res.Mean = telemetry.MeanOf(all)
+		res.P50 = telemetry.QuantileOf(all, 0.50)
+		res.P99 = telemetry.QuantileOf(all, 0.99)
+	}
+	if r.totalCalls > 0 {
+		res.RemoteFraction = float64(r.remoteCalls) / float64(r.totalCalls)
+	}
+	if res.MeasuredWindow > 0 {
+		for c, n := range r.localServed {
+			res.LocalServedRPS[c] = float64(n) / res.MeasuredWindow.Seconds()
+		}
+	}
+}

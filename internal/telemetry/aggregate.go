@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// E2EService is the conventional pseudo-service name under which
+// runtimes report end-to-end request latency (measured at the ingress,
+// spanning the whole call tree). Per-service keys report pool sojourn
+// times (queue wait + own service time), which is what latency-profile
+// fitting needs; the controller's objective guardrail prefers the
+// end-to-end stream when present.
+const E2EService = "__e2e__"
+
+// MetricKey identifies one telemetry stream: a traffic class at a
+// service in a cluster.
+type MetricKey struct {
+	Service string
+	Class   string
+	Cluster string
+}
+
+// WindowStats is the aggregate the cluster controller reports upstream
+// for one key over one collection window.
+type WindowStats struct {
+	Key      MetricKey
+	Window   time.Duration
+	Requests uint64
+	// RPS is Requests divided by the window.
+	RPS float64
+	// MeanLatency, P50 and P99 summarize the sojourn time observed at
+	// the service (per-span latency, not end-to-end).
+	MeanLatency time.Duration
+	P50, P99    time.Duration
+	// EgressBytes counts bytes this key sent across cluster boundaries
+	// during the window.
+	EgressBytes int64
+}
+
+// Aggregator accumulates per-request observations and produces
+// WindowStats on Flush. It is clock-agnostic: the caller decides when a
+// window ends and how long it was, which lets the same type serve the
+// virtual-time simulator and the wall-clock emulation. Safe for
+// concurrent use.
+type Aggregator struct {
+	mu      sync.Mutex
+	buckets map[MetricKey]*bucket
+}
+
+type bucket struct {
+	hist   *Histogram
+	egress int64
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{buckets: make(map[MetricKey]*bucket)}
+}
+
+// Record adds one request observation for the key.
+func (a *Aggregator) Record(key MetricKey, latency time.Duration, egressBytes int64) {
+	a.mu.Lock()
+	b, ok := a.buckets[key]
+	if !ok {
+		b = &bucket{hist: DefaultHistogram()}
+		a.buckets[key] = b
+	}
+	b.hist.Record(latency)
+	b.egress += egressBytes
+	a.mu.Unlock()
+}
+
+// Flush returns stats for every key observed since the last flush,
+// computed over the given window length, and resets the aggregator.
+// Keys are returned in deterministic (sorted) order.
+func (a *Aggregator) Flush(window time.Duration) []WindowStats {
+	a.mu.Lock()
+	buckets := a.buckets
+	a.buckets = make(map[MetricKey]*bucket, len(buckets))
+	a.mu.Unlock()
+
+	out := make([]WindowStats, 0, len(buckets))
+	for key, b := range buckets {
+		ws := WindowStats{
+			Key:         key,
+			Window:      window,
+			Requests:    b.hist.Count(),
+			MeanLatency: b.hist.Mean(),
+			P50:         b.hist.Quantile(0.50),
+			P99:         b.hist.Quantile(0.99),
+			EgressBytes: b.egress,
+		}
+		if window > 0 {
+			ws.RPS = float64(ws.Requests) / window.Seconds()
+		}
+		out = append(out, ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessKey(out[i].Key, out[j].Key) })
+	return out
+}
+
+func lessKey(a, b MetricKey) bool {
+	if a.Service != b.Service {
+		return a.Service < b.Service
+	}
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.Cluster < b.Cluster
+}
+
+// Merge combines window stats from multiple aggregators (e.g. one per
+// proxy) that cover the same window into per-key totals. Latency
+// summaries are combined as request-weighted means; quantiles take the
+// max (a conservative upper summary, since exact cross-node quantile
+// merging needs the histograms — the cluster controller ships
+// WindowStats, not raw histograms, to bound fan-in bandwidth).
+func Merge(groups ...[]WindowStats) []WindowStats {
+	acc := make(map[MetricKey]*WindowStats)
+	for _, g := range groups {
+		for _, ws := range g {
+			cur, ok := acc[ws.Key]
+			if !ok {
+				copyWS := ws
+				acc[ws.Key] = &copyWS
+				continue
+			}
+			total := cur.Requests + ws.Requests
+			if total > 0 {
+				cur.MeanLatency = time.Duration(
+					(float64(cur.MeanLatency)*float64(cur.Requests) +
+						float64(ws.MeanLatency)*float64(ws.Requests)) / float64(total))
+			}
+			if ws.P50 > cur.P50 {
+				cur.P50 = ws.P50
+			}
+			if ws.P99 > cur.P99 {
+				cur.P99 = ws.P99
+			}
+			cur.Requests = total
+			cur.RPS += ws.RPS
+			cur.EgressBytes += ws.EgressBytes
+			if ws.Window > cur.Window {
+				cur.Window = ws.Window
+			}
+		}
+	}
+	out := make([]WindowStats, 0, len(acc))
+	for _, ws := range acc {
+		out = append(out, *ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessKey(out[i].Key, out[j].Key) })
+	return out
+}

@@ -1,0 +1,251 @@
+// Package telemetry provides the observability substrate SLATE's control
+// plane consumes: per-request records and spans, call-tree
+// reconstruction, streaming latency histograms, and windowed
+// per-(service, class, cluster) aggregation (paper §3.1: the SLATE-proxy
+// "monitors and reports telemetry in each microservice replica...
+// including the load on the service, request specific information,
+// latency, trace information, and request traffic classes").
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram is a streaming latency histogram with logarithmically spaced
+// buckets, in the spirit of HDR histograms: constant memory, bounded
+// relative quantile error. The zero value is not usable; construct with
+// NewHistogram. Not safe for concurrent use; callers own locking.
+type Histogram struct {
+	min, max time.Duration
+	growth   float64
+	bounds   []time.Duration // upper bound of each bucket
+	counts   []uint64
+	n        uint64
+	sum      time.Duration
+	maxSeen  time.Duration
+	minSeen  time.Duration
+}
+
+// NewHistogram returns a histogram covering [min, max] with bucket
+// boundaries growing by the given factor (> 1). Values outside the range
+// are clamped into the edge buckets. A growth of 1.05 yields ~5%
+// relative quantile error.
+func NewHistogram(min, max time.Duration, growth float64) (*Histogram, error) {
+	if min <= 0 || max <= min {
+		return nil, fmt.Errorf("telemetry: invalid histogram range [%v, %v]", min, max)
+	}
+	if growth <= 1 {
+		return nil, fmt.Errorf("telemetry: growth factor must exceed 1, got %v", growth)
+	}
+	h := &Histogram{min: min, max: max, growth: growth, minSeen: math.MaxInt64}
+	for b := float64(min); b < float64(max); b *= growth {
+		h.bounds = append(h.bounds, time.Duration(b))
+	}
+	h.bounds = append(h.bounds, max)
+	h.counts = make([]uint64, len(h.bounds)+1) // +1 overflow bucket
+	return h, nil
+}
+
+// DefaultHistogram covers 10µs to 100s with ~5% resolution — suitable
+// for request latencies.
+func DefaultHistogram() *Histogram {
+	h, err := NewHistogram(10*time.Microsecond, 100*time.Second, 1.05)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= d })
+	h.counts[idx]++
+	h.n++
+	h.sum += d
+	if d > h.maxSeen {
+		h.maxSeen = d
+	}
+	if d < h.minSeen {
+		h.minSeen = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the exact mean of recorded values (tracked outside the
+// buckets, so it has no quantization error).
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.maxSeen
+}
+
+// Min returns the smallest recorded value.
+func (h *Histogram) Min() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.minSeen
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with relative error
+// bounded by the growth factor. q outside [0,1] is clamped.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.minSeen
+	}
+	if q >= 1 {
+		return h.maxSeen
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i >= len(h.bounds) {
+				return h.maxSeen
+			}
+			// Clamp the bucket bound to the observed range so quantiles
+			// never fall outside [Min, Max].
+			b := h.bounds[i]
+			if b > h.maxSeen {
+				b = h.maxSeen
+			}
+			if b < h.minSeen {
+				b = h.minSeen
+			}
+			return b
+		}
+	}
+	return h.maxSeen
+}
+
+// Merge adds other's observations into h. The histograms must have been
+// created with identical parameters.
+func (h *Histogram) Merge(other *Histogram) error {
+	if len(h.counts) != len(other.counts) || h.min != other.min || h.max != other.max || h.growth != other.growth {
+		return fmt.Errorf("telemetry: merging histograms with different shapes")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.n > 0 {
+		if other.maxSeen > h.maxSeen {
+			h.maxSeen = other.maxSeen
+		}
+		if other.minSeen < h.minSeen {
+			h.minSeen = other.minSeen
+		}
+	}
+	return nil
+}
+
+// Reset clears all observations, keeping the bucket layout.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.n, h.sum, h.maxSeen = 0, 0, 0
+	h.minSeen = math.MaxInt64
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Latency  time.Duration
+	Fraction float64 // P(X <= Latency)
+}
+
+// CDF returns the empirical CDF of the histogram at each non-empty
+// bucket boundary.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.n == 0 {
+		return nil
+	}
+	var out []CDFPoint
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		lat := h.maxSeen
+		if i < len(h.bounds) {
+			lat = h.bounds[i]
+		}
+		out = append(out, CDFPoint{Latency: lat, Fraction: float64(cum) / float64(h.n)})
+	}
+	return out
+}
+
+// CDFOf computes an exact empirical CDF from raw samples (sorted copy),
+// used for small result sets where exactness beats constant memory.
+func CDFOf(samples []time.Duration) []CDFPoint {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := make([]CDFPoint, 0, len(s))
+	n := float64(len(s))
+	for i, v := range s {
+		// Collapse runs of equal values to the last index.
+		if i+1 < len(s) && s[i+1] == v {
+			continue
+		}
+		out = append(out, CDFPoint{Latency: v, Fraction: float64(i+1) / n})
+	}
+	return out
+}
+
+// QuantileOf returns the exact q-quantile of raw samples.
+func QuantileOf(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// MeanOf returns the mean of raw samples.
+func MeanOf(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / time.Duration(len(samples))
+}

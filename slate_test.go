@@ -1,0 +1,113 @@
+package slate_test
+
+import (
+	"testing"
+	"time"
+
+	slate "github.com/servicelayernetworking/slate"
+)
+
+// TestPublicAPIEndToEnd exercises the documented public workflow: build
+// a topology and app, optimize, and validate on the simulator — the
+// quickstart example as a test.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	top := slate.TwoClusters(40 * time.Millisecond)
+	app := slate.LinearChain(slate.ChainOptions{
+		Services:        3,
+		MeanServiceTime: 10 * time.Millisecond,
+		Pool:            slate.ReplicaPool{Replicas: 2, Concurrency: 4},
+		Clusters:        []slate.ClusterID{slate.West, slate.East},
+	})
+	demand := slate.Demand{"default": {slate.West: 900, slate.East: 100}}
+
+	prob := &slate.Problem{
+		Top:      top,
+		App:      app,
+		Demand:   demand,
+		Profiles: slate.DefaultProfiles(app, top, demand),
+	}
+	plan, err := prob.Optimize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Table.Len() == 0 {
+		t.Fatal("no rules under overload")
+	}
+
+	caps := slate.DefaultCapacities(app, top, demand, 0.95)
+	wf, err := slate.Waterfall(top, app, demand, caps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scn := slate.Scenario{
+		Name: "api-test",
+		Top:  top,
+		App:  app,
+		Workload: []slate.WorkloadSpec{
+			slate.SteadyLoad("default", slate.West, 900),
+			slate.SteadyLoad("default", slate.East, 100),
+		},
+		Duration: 20 * time.Second,
+		Warmup:   4 * time.Second,
+		Seed:     42,
+	}
+	slateRes, err := slate.Run(scn, slate.StaticPolicy("slate", plan.Table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfRes, err := slate.Run(scn, slate.StaticPolicy("waterfall", wf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slateRes.Mean >= wfRes.Mean {
+		t.Errorf("SLATE %v not better than Waterfall %v", slateRes.Mean, wfRes.Mean)
+	}
+	// The optimizer's latency prediction should land near the measured
+	// value (both ~45ms here); allow generous tolerance.
+	pred := plan.PredictedMeanLatency["default"]
+	ratio := float64(slateRes.Mean) / float64(pred)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("prediction %v vs measured %v (ratio %.2f) outside [0.7, 1.4]",
+			pred, slateRes.Mean, ratio)
+	}
+}
+
+// TestPublicAPIControllers exercises the adaptive controllers through
+// the façade.
+func TestPublicAPIControllers(t *testing.T) {
+	top := slate.GCPTopology()
+	app := slate.TwoClassApp(slate.TwoClassOptions{Clusters: top.ClusterIDs()})
+	ctrl, err := slate.NewController(top, app, slate.ControllerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetDemand(slate.Demand{
+		"L": {slate.OR: 100},
+		"H": {slate.OR: 400, slate.UT: 50},
+	})
+	tab, err := ctrl.Prime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(top); err != nil {
+		t.Fatal(err)
+	}
+	wc, err := slate.NewWaterfallController(top, app, slate.DefaultCapacities(app, top, nil, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc.SetDemand(slate.Demand{"H": {slate.OR: 1000}})
+	if _, err := wc.Prime(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIExperimentsRegistry ensures the experiment surface is
+// reachable from the façade.
+func TestPublicAPIExperimentsRegistry(t *testing.T) {
+	all := slate.Experiments()
+	if len(all) < 7 {
+		t.Fatalf("experiments = %d, want >= 7", len(all))
+	}
+}
