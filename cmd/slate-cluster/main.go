@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,20 +41,19 @@ func main() {
 	if *selfURL == "" {
 		*selfURL = "http://" + *listen
 	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	cc := controlplane.NewCluster(topology.ClusterID(*cluster), *globalURL)
-	if err := cc.Register(*selfURL); err != nil {
+	if err := cc.Register(ctx, *selfURL); err != nil {
 		log.Fatalf("slate-cluster: register: %v", err)
 	}
 
-	stop := make(chan struct{})
-	go cc.Run(*period, stop)
-	defer close(stop)
+	go cc.Run(ctx, *period)
 
 	srv := &http.Server{Addr: *listen, Handler: cc.Handler()}
 	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+		<-ctx.Done()
 		srv.Close()
 	}()
 	log.Printf("slate-cluster[%s]: serving on %s, reporting to %s every %v",

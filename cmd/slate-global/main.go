@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -57,15 +58,13 @@ func main() {
 	}
 	g := controlplane.NewGlobal(ctrl)
 
-	stop := make(chan struct{})
-	go g.Run(*period, stop)
-	defer close(stop)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	go g.Run(ctx, *period)
 
 	srv := &http.Server{Addr: *listen, Handler: g.Handler()}
 	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+		<-ctx.Done()
 		srv.Close()
 	}()
 	log.Printf("slate-global: serving on %s (period %v, app %s, %d clusters)",

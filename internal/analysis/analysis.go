@@ -1,0 +1,136 @@
+// Package analysis is a small, self-contained static-analysis framework
+// for the SLATE codebase, built only on the standard library's go/ast,
+// go/parser, go/types and go/build (no golang.org/x/tools — the repo is
+// offline and dependency-free).
+//
+// SLATE's correctness rests on invariants the Go compiler cannot see:
+// per-class routing weights must stay a valid distribution, the control
+// loop must never hold a lock across a blocking telemetry/RPC call, and
+// the simulator must stay deterministic (the paper's Fig. 4/5
+// comparisons against Waterfall are only meaningful when runs are
+// reproducible). The analyzers in this package mechanically enforce
+// those invariants on every build; cmd/slate-lint is the driver.
+//
+// # Adding an analyzer
+//
+// Write a `var myrule = &Analyzer{Name: ..., Doc: ..., Run: func(*Pass)}`
+// in a new file, append it to All in registry.go, and add a fixture
+// package under testdata/lint/myrule/ with `// want "regexp"`
+// expectations exercised by a RunFixture test. The Pass gives each
+// analyzer fully type-checked ASTs, so rules can resolve callees
+// precisely (e.g. distinguish (*net/http.Client).Post from a local
+// method named Post) instead of string-matching identifiers.
+//
+// # Suppressing a finding
+//
+// A deliberate exception is annotated in the source:
+//
+//	x := weight == 0 //slate:nolint floatcmp -- zero is the unset sentinel
+//
+// The directive suppresses the named analyzers (or all, when no names
+// are given) on its own line and on the line directly below, so it can
+// also sit on its own line above the finding. The `-- reason` tail is
+// required by convention: an exception without a recorded reason is a
+// future bug.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	// Name identifies the rule in diagnostics ("[name] message") and in
+	// //slate:nolint directives.
+	Name string
+	// Doc is a one-paragraph description: what the rule flags and which
+	// SLATE invariant it protects.
+	Doc string
+	// Run inspects one type-checked package unit and reports findings
+	// via pass.Reportf.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass hands one type-checked package unit (a package plus its
+// in-package test files, or an external _test package) to an analyzer.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	ImportPath string
+	// ModulePath is the enclosing module's path, so analyzers can make
+	// module-relative decisions (e.g. exempt internal/sim from detrand).
+	ModulePath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// CalleeFunc resolves the static callee of a call expression, or nil
+// for calls through function values, conversions and builtins. For
+// methods the result's FullName() is of the form
+// "(*net/http.Client).Post"; for package functions "net/http.Get".
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// ExprString renders a (small) expression for diagnostics, e.g. the
+// receiver of a Lock call.
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return ExprString(e.X)
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "(...)"
+	default:
+		return "expr"
+	}
+}

@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Options configures one slate-lint run.
+type Options struct {
+	// Dir is the module root. Empty means the current directory.
+	Dir string
+	// Patterns are package directories to lint: "./..." (everything
+	// under Dir), "./internal/..." (a subtree), or plain directories.
+	// Empty means "./...".
+	Patterns []string
+	// Analyzers to run. Empty means All().
+	Analyzers []*Analyzer
+}
+
+// Run lints the requested packages, writes diagnostics to out in
+// "file:line:col: [analyzer] message" form (paths relative to Dir), and
+// returns the number of findings after //slate:nolint filtering. A
+// non-nil error means the run itself failed (bad pattern, unparsable
+// source); findings alone never produce an error.
+func Run(opts Options, out io.Writer) (int, error) {
+	dir := opts.Dir
+	if dir == "" {
+		dir = "."
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return 0, err
+	}
+	analyzers := opts.Analyzers
+	if len(analyzers) == 0 {
+		analyzers = All()
+	}
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expandPatterns(loader.ModuleDir, patterns)
+	if err != nil {
+		return 0, err
+	}
+
+	var diags []Diagnostic
+	for _, pkgDir := range dirs {
+		units, err := loader.Load(pkgDir)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", pkgDir, err)
+		}
+		for _, u := range units {
+			for _, terr := range u.TypeErrors {
+				fmt.Fprintf(out, "%s: [typecheck] %v\n", u.ImportPath, terr)
+			}
+			if len(u.TypeErrors) > 0 {
+				// Partial type info would make analyzer output noise.
+				diags = append(diags, Diagnostic{Analyzer: "typecheck",
+					Message: fmt.Sprintf("%s: %d type error(s), analyzers skipped", u.ImportPath, len(u.TypeErrors))})
+				continue
+			}
+			nolint := collectNolint(loader, u)
+			for _, a := range analyzers {
+				pass := &Pass{
+					Analyzer:   a,
+					Fset:       loader.Fset,
+					Files:      u.Files,
+					Pkg:        u.Pkg,
+					Info:       u.Info,
+					ImportPath: u.ImportPath,
+					ModulePath: loader.ModulePath,
+					report: func(d Diagnostic) {
+						if !nolint.suppressed(d) {
+							diags = append(diags, d)
+						}
+					},
+				}
+				a.Run(pass)
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for _, d := range diags {
+		if rel, err := filepath.Rel(loader.ModuleDir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(out, d.String())
+	}
+	return len(diags), nil
+}
+
+// expandPatterns turns package patterns into a sorted list of package
+// directories. The "..." suffix walks a subtree, skipping testdata,
+// hidden directories, and any directory without Go files.
+func expandPatterns(moduleDir string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		root := pat
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			root = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if root == "" || root == "." {
+				root = "."
+			}
+		}
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(moduleDir, root)
+		}
+		fi, err := os.Stat(root)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pat, err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// nolintIndex records //slate:nolint directives per file and line.
+type nolintIndex struct {
+	// byLine maps filename -> line -> analyzer names ("" = all).
+	byLine map[string]map[int][]string
+}
+
+// collectNolint scans a unit's comments for suppression directives. A
+// directive covers its own line and the next line, so it can trail the
+// finding or sit on its own line above it.
+func collectNolint(l *Loader, u *Unit) *nolintIndex {
+	idx := &nolintIndex{byLine: make(map[string]map[int][]string)}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//slate:nolint")
+				if !ok {
+					continue
+				}
+				// Drop the "-- reason" tail, keep the analyzer list.
+				names, _, _ := strings.Cut(strings.TrimSpace(text), "--")
+				var list []string
+				for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					list = append(list, n)
+				}
+				if len(list) == 0 {
+					list = []string{""} // suppress all analyzers
+				}
+				pos := l.Fset.Position(c.Pos())
+				m := idx.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					idx.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], list...)
+				m[pos.Line+1] = append(m[pos.Line+1], list...)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *nolintIndex) suppressed(d Diagnostic) bool {
+	m := idx.byLine[d.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, name := range m[d.Pos.Line] {
+		if name == "" || name == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -117,13 +117,13 @@ func TestCallRateMultipliers(t *testing.T) {
 		t.Fatalf("Validate: %v", err)
 	}
 	rates := app.Classes[0].CallRate()
-	if rates["root"] != 1 {
+	if !almostEqual(rates["root"], 1) {
 		t.Errorf("root rate = %v, want 1", rates["root"])
 	}
-	if rates["a"] != 2 {
+	if !almostEqual(rates["a"], 2) {
 		t.Errorf("a rate = %v, want 2", rates["a"])
 	}
-	if rates["b"] != 7 {
+	if !almostEqual(rates["b"], 7) {
 		t.Errorf("b rate = %v, want 7", rates["b"])
 	}
 }
@@ -299,7 +299,7 @@ func TestCallRateMatchesBruteForceProperty(t *testing.T) {
 			return false
 		}
 		for k, v := range want {
-			if got[k] != v {
+			if !almostEqual(got[k], v) {
 				return false
 			}
 		}

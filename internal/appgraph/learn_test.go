@@ -161,7 +161,7 @@ func TestLearnedClassIsUsableInApp(t *testing.T) {
 		t.Fatalf("learned app invalid: %v", err)
 	}
 	rates := cl.CallRate()
-	if rates["db"] != 1 {
+	if !almostEqual(rates["db"], 1) {
 		t.Errorf("db call rate = %v", rates["db"])
 	}
 }

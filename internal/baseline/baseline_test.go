@@ -66,7 +66,7 @@ func TestWaterfallSpillsExactExcess(t *testing.T) {
 	}
 	// Class-blind: the same rule serves every class.
 	d2 := tab.Lookup("svc-1", "whatever", topology.West)
-	if d2.Weight(topology.East) != d.Weight(topology.East) {
+	if !almostEqual(d2.Weight(topology.East), d.Weight(topology.East)) {
 		t.Error("waterfall should be class-blind")
 	}
 }
@@ -114,7 +114,7 @@ func TestWaterfallGreedyPrefersNearest(t *testing.T) {
 	if d.Weight(topology.UT) <= 0 {
 		t.Errorf("OR should spill to UT (nearest): %v", d)
 	}
-	if d.Weight(topology.SC) != 0 {
+	if !almostEqual(d.Weight(topology.SC), 0) {
 		t.Errorf("greedy waterfall should not touch SC while UT has headroom: %v", d)
 	}
 }
@@ -227,7 +227,7 @@ func TestLocalityFailover(t *testing.T) {
 		t.Fatalf("rules = %d, want 1: %s", tab.Len(), tab)
 	}
 	d := tab.Lookup(string(appgraph.AnomalyDB), routing.AnyClass, topology.West)
-	if d.Weight(topology.East) != 1 {
+	if !almostEqual(d.Weight(topology.East), 1) {
 		t.Errorf("failover = %v", d)
 	}
 }
@@ -244,7 +244,7 @@ func TestLocalityFailoverPicksNearest(t *testing.T) {
 	}
 	// From OR, nearest DB host: UT has none; IOW (37ms) beats SC (66ms).
 	d := tab.Lookup(string(appgraph.AnomalyDB), routing.AnyClass, topology.OR)
-	if d.Weight(topology.IOW) != 1 {
+	if !almostEqual(d.Weight(topology.IOW), 1) {
 		t.Errorf("OR DB failover = %v, want IOW", d)
 	}
 }
@@ -309,11 +309,11 @@ func TestStaticWeighted(t *testing.T) {
 	}
 	// East has no entry: stays local.
 	de := tab.Lookup("svc-1", routing.AnyClass, topology.East)
-	if de.Weight(topology.East) != 1 {
+	if !almostEqual(de.Weight(topology.East), 1) {
 		t.Errorf("east should stay local: %v", de)
 	}
 	// Class-blind.
-	if tab.Lookup("svc-1", "anything", topology.West).Weight(topology.East) != d.Weight(topology.East) {
+	if !almostEqual(tab.Lookup("svc-1", "anything", topology.West).Weight(topology.East), d.Weight(topology.East)) {
 		t.Error("static weighted should be class-blind")
 	}
 }

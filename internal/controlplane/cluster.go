@@ -2,6 +2,7 @@ package controlplane
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -162,7 +163,9 @@ func (c *Cluster) Collect(window time.Duration) []telemetry.WindowStats {
 }
 
 // Report collects one window and uploads it to the global controller.
-func (c *Cluster) Report(window time.Duration) error {
+// The context bounds the upload so a daemon shutdown cancels an
+// in-flight report instead of waiting out the HTTP timeout.
+func (c *Cluster) Report(ctx context.Context, window time.Duration) error {
 	stats := c.Collect(window)
 	if c.globalURL == "" {
 		return nil
@@ -175,21 +178,15 @@ func (c *Cluster) Report(window time.Duration) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.client.Post(c.globalURL+"/v1/metrics", "application/json", bytes.NewReader(body))
-	if err != nil {
+	if err := postJSON(ctx, c.client, c.globalURL+"/v1/metrics", body); err != nil {
 		return fmt.Errorf("controlplane: report to global: %w", err)
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("controlplane: report to global: status %d", resp.StatusCode)
 	}
 	return nil
 }
 
 // Register announces this cluster controller (reachable at selfURL) to
 // the global controller.
-func (c *Cluster) Register(selfURL string) error {
+func (c *Cluster) Register(ctx context.Context, selfURL string) error {
 	if c.globalURL == "" {
 		return fmt.Errorf("controlplane: no global URL configured")
 	}
@@ -197,28 +194,42 @@ func (c *Cluster) Register(selfURL string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.client.Post(c.globalURL+"/v1/register", "application/json", bytes.NewReader(body))
+	if err := postJSON(ctx, c.client, c.globalURL+"/v1/register", body); err != nil {
+		return fmt.Errorf("controlplane: register: %w", err)
+	}
+	return nil
+}
+
+// Run reports telemetry every period until the context is cancelled.
+func (c *Cluster) Run(ctx context.Context, period time.Duration) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.Report(ctx, period) // errors visible to global via missing data
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// postJSON posts body to url under ctx and drains the response,
+// returning an error on transport failure or a non-2xx status.
+func postJSON(ctx context.Context, client *http.Client, url string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("controlplane: register: status %d", resp.StatusCode)
+		return fmt.Errorf("status %d", resp.StatusCode)
 	}
 	return nil
-}
-
-// Run reports telemetry every period until stop closes.
-func (c *Cluster) Run(period time.Duration, stop <-chan struct{}) {
-	t := time.NewTicker(period)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
-			c.Report(period) // errors visible to global via missing data
-		case <-stop:
-			return
-		}
-	}
 }

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -40,7 +41,7 @@ func newGlobalServer(t *testing.T) (*Global, *httptest.Server) {
 	return g, srv
 }
 
-func postJSON(t *testing.T, url string, v any) *http.Response {
+func postJSONReq(t *testing.T, url string, v any) *http.Response {
 	t.Helper()
 	body, err := json.Marshal(v)
 	if err != nil {
@@ -70,7 +71,7 @@ func feStats(west, east float64) []telemetry.WindowStats {
 func TestGlobalMetricsOptimizeTableRoundTrip(t *testing.T) {
 	_, srv := newGlobalServer(t)
 
-	resp := postJSON(t, srv.URL+"/v1/metrics", MetricsReport{
+	resp := postJSONReq(t, srv.URL+"/v1/metrics", MetricsReport{
 		Cluster: topology.West, WindowMS: 1000, Stats: feStats(900, 100),
 	})
 	if resp.StatusCode != http.StatusAccepted {
@@ -78,7 +79,7 @@ func TestGlobalMetricsOptimizeTableRoundTrip(t *testing.T) {
 	}
 	drain(resp)
 
-	resp = postJSON(t, srv.URL+"/v1/optimize", struct{}{})
+	resp = postJSONReq(t, srv.URL+"/v1/optimize", struct{}{})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("optimize status = %d", resp.StatusCode)
 	}
@@ -112,7 +113,7 @@ func TestGlobalMetricsOptimizeTableRoundTrip(t *testing.T) {
 
 func TestGlobalStatus(t *testing.T) {
 	_, srv := newGlobalServer(t)
-	resp := postJSON(t, srv.URL+"/v1/register", RegisterRequest{Cluster: topology.West, URL: "http://127.0.0.1:1"})
+	resp := postJSONReq(t, srv.URL+"/v1/register", RegisterRequest{Cluster: topology.West, URL: "http://127.0.0.1:1"})
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("register status = %d", resp.StatusCode)
 	}
@@ -134,7 +135,7 @@ func TestGlobalStatus(t *testing.T) {
 
 func TestGlobalRegisterValidation(t *testing.T) {
 	_, srv := newGlobalServer(t)
-	resp := postJSON(t, srv.URL+"/v1/register", RegisterRequest{})
+	resp := postJSONReq(t, srv.URL+"/v1/register", RegisterRequest{})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty register status = %d, want 400", resp.StatusCode)
 	}
@@ -234,7 +235,7 @@ func TestEndToEndControlPlaneLoop(t *testing.T) {
 		cc.AddProxy(p)
 		srv := httptest.NewServer(cc.Handler())
 		t.Cleanup(srv.Close)
-		if err := cc.Register(srv.URL); err != nil {
+		if err := cc.Register(t.Context(), srv.URL); err != nil {
 			t.Fatal(err)
 		}
 		return cc, p
@@ -255,7 +256,7 @@ func TestEndToEndControlPlaneLoop(t *testing.T) {
 	up(ccW, feStats(900, 0)[:1])
 	up(ccE, feStats(0, 100)[1:])
 
-	resp := postJSON(t, gsrv.URL+"/v1/optimize", struct{}{})
+	resp := postJSONReq(t, gsrv.URL+"/v1/optimize", struct{}{})
 	drain(resp)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("optimize status = %d", resp.StatusCode)
@@ -289,7 +290,7 @@ func TestTableJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round trip lost data: v%d len %d", got.Version, got.Len())
 	}
 	d := got.Lookup("s", "H", topology.West)
-	if w := d.Weight(topology.East); w != 0.75 {
+	if w := d.Weight(topology.East); !almostEqual(w, 0.75) {
 		t.Errorf("east weight = %v, want 0.75", w)
 	}
 }
@@ -304,14 +305,14 @@ func mustDist(w map[topology.ClusterID]float64) routing.Distribution {
 
 func TestGlobalRunLoopTicksAndStops(t *testing.T) {
 	g, _ := newGlobalServer(t)
-	stop := make(chan struct{})
+	ctx, cancel := context.WithCancel(t.Context())
 	done := make(chan struct{})
 	go func() {
-		g.Run(5*time.Millisecond, stop)
+		g.Run(ctx, 5*time.Millisecond)
 		close(done)
 	}()
 	time.Sleep(30 * time.Millisecond)
-	close(stop)
+	cancel()
 	select {
 	case <-done:
 	case <-time.After(time.Second):

@@ -40,7 +40,7 @@ func TestFullyDistributedDeployment(t *testing.T) {
 		cc := NewCluster(id, gsrv.URL)
 		srv := httptest.NewServer(cc.Handler())
 		t.Cleanup(srv.Close)
-		if err := cc.Register(srv.URL); err != nil {
+		if err := cc.Register(t.Context(), srv.URL); err != nil {
 			t.Fatal(err)
 		}
 		return clusterRig{cc: cc, ccURL: srv.URL}
@@ -89,22 +89,22 @@ func TestFullyDistributedDeployment(t *testing.T) {
 
 	// One control round: agents sync (push + poll), cluster controllers
 	// report, global optimizes and pushes down, agents poll the result.
-	if err := aW.Sync(); err != nil {
+	if err := aW.Sync(t.Context()); err != nil {
 		t.Fatalf("west agent: %v", err)
 	}
-	if err := aE.Sync(); err != nil {
+	if err := aE.Sync(t.Context()); err != nil {
 		t.Fatalf("east agent: %v", err)
 	}
-	if err := west.cc.Report(time.Second); err != nil {
+	if err := west.cc.Report(t.Context(), time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if err := east.cc.Report(time.Second); err != nil {
+	if err := east.cc.Report(t.Context(), time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.Tick(); err != nil {
+	if err := g.Tick(t.Context()); err != nil {
 		t.Fatalf("global tick: %v", err)
 	}
-	if err := aW.Sync(); err != nil {
+	if err := aW.Sync(t.Context()); err != nil {
 		t.Fatal(err)
 	}
 

@@ -18,10 +18,9 @@
 package controlplane
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -122,7 +121,7 @@ func (g *Global) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (g *Global) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	if err := g.Tick(); err != nil {
+	if err := g.Tick(r.Context()); err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
@@ -156,7 +155,9 @@ func (g *Global) handleStatus(w http.ResponseWriter, _ *http.Request) {
 
 // Tick merges pending telemetry, runs one optimization round, and
 // pushes the resulting table to every registered cluster controller.
-func (g *Global) Tick() error {
+// The context bounds the rule pushes so shutdown (or a cancelled
+// /v1/optimize request) does not hang on a wedged cluster controller.
+func (g *Global) Tick(ctx context.Context) error {
 	g.mu.Lock()
 	groups := g.pending
 	g.pending = nil
@@ -181,41 +182,34 @@ func (g *Global) Tick() error {
 	if err != nil {
 		return err
 	}
-	return g.push(table, targets)
+	return g.push(ctx, table, targets)
 }
 
-func (g *Global) push(table *routing.Table, targets map[topology.ClusterID]string) error {
+func (g *Global) push(ctx context.Context, table *routing.Table, targets map[topology.ClusterID]string) error {
 	body, err := json.Marshal(table)
 	if err != nil {
 		return err
 	}
 	var firstErr error
 	for c, u := range targets {
-		resp, err := g.client.Post(u+"/v1/rules", "application/json", bytes.NewReader(body))
-		if err != nil {
+		if err := postJSON(ctx, g.client, u+"/v1/rules", body); err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("push to %s: %w", c, err)
 			}
-			continue
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode/100 != 2 && firstErr == nil {
-			firstErr = fmt.Errorf("push to %s: status %d", c, resp.StatusCode)
 		}
 	}
 	return firstErr
 }
 
-// Run ticks the controller every period until the stop channel closes.
-func (g *Global) Run(period time.Duration, stop <-chan struct{}) {
+// Run ticks the controller every period until the context is cancelled.
+func (g *Global) Run(ctx context.Context, period time.Duration) {
 	t := time.NewTicker(period)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
-			g.Tick() // errors surface via /v1/status
-		case <-stop:
+			g.Tick(ctx) // errors surface via /v1/status
+		case <-ctx.Done():
 			return
 		}
 	}

@@ -46,7 +46,7 @@ func (c Config) pinned(class string) bool {
 }
 
 func (c Config) normalized() Config {
-	if c.LatencyWeight == 0 && c.CostWeight == 0 {
+	if c.LatencyWeight == 0 && c.CostWeight == 0 { //slate:nolint floatcmp -- zero means "weight unset": assigned literally, never computed
 		c.LatencyWeight = 1
 	}
 	return c
@@ -280,7 +280,7 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 				bytes := nr.node.Work.RequestBytes + nr.node.Work.ResponseBytes
 				obj += cfg.CostWeight * p.Top.EgressCost(ci, cj, bytes)
 			}
-			if obj != 0 {
+			if obj != 0 { //slate:nolint floatcmp -- sparsity: only exactly-zero coefficients are skippable
 				model.SetObj(v, obj)
 			}
 		}

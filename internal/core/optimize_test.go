@@ -92,7 +92,7 @@ func TestOffloadGrowsAsRTTShrinks(t *testing.T) {
 			t.Errorf("offload fraction should not grow with RTT: %v", fracs)
 		}
 	}
-	if fracs[0] <= fracs[len(fracs)-1] && fracs[0] == 0 {
+	if fracs[0] <= fracs[len(fracs)-1] && almostEqual(fracs[0], 0) {
 		t.Logf("note: no offload at any RTT: %v", fracs)
 	}
 }
@@ -272,10 +272,10 @@ func TestOptimizeRuleWeightsNormalized(t *testing.T) {
 
 func TestDemandTotal(t *testing.T) {
 	d := Demand{"c": {topology.West: 2, topology.East: 3}}
-	if got := d.Total("c"); got != 5 {
+	if got := d.Total("c"); !almostEqual(got, 5) {
 		t.Errorf("Total = %v, want 5", got)
 	}
-	if got := d.Total("missing"); got != 0 {
+	if got := d.Total("missing"); !almostEqual(got, 0) {
 		t.Errorf("Total(missing) = %v, want 0", got)
 	}
 }
@@ -313,7 +313,7 @@ func TestRoutingTableLookupChainsToLocalFallback(t *testing.T) {
 	}
 	// A class the optimizer never saw falls back to local.
 	d := plan.Table.Lookup("svc-1", "ghost-class", topology.West)
-	if d.Weight(topology.West) != 1 {
+	if !almostEqual(d.Weight(topology.West), 1) {
 		// There may be an exact "default" rule but no wildcard; ghost
 		// classes must still route somewhere.
 		if d.IsZero() {

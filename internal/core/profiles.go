@@ -194,7 +194,7 @@ func (h *SampleHistory) Observe(stats []telemetry.WindowStats) {
 		a.anySeen = true
 	}
 	for key, a := range byPool {
-		if !a.anySeen || a.weight == 0 || a.rps <= 0 {
+		if !a.anySeen || a.weight == 0 || a.rps <= 0 { //slate:nolint floatcmp -- weight sums integral request counts; zero means no traffic
 			continue
 		}
 		s := queuemodel.Sample{

@@ -45,17 +45,24 @@ func NewAgent(p *Proxy, clusterURL string, period time.Duration) (*Agent, error)
 }
 
 // Sync performs one round: upload the telemetry accumulated since the
-// last round, then fetch and apply the current routing table. Errors
-// are returned but non-fatal: the proxy keeps serving with its last
-// rules (a real data plane must survive control-plane outages).
-func (a *Agent) Sync() error {
+// last round, then fetch and apply the current routing table. The
+// context bounds both RPCs so an agent shutdown cancels an in-flight
+// round instead of waiting out network timeouts. Errors are returned
+// but non-fatal: the proxy keeps serving with its last rules (a real
+// data plane must survive control-plane outages).
+func (a *Agent) Sync(ctx context.Context) error {
 	stats := a.proxy.FlushTelemetry(a.period)
 	if len(stats) > 0 {
 		body, err := json.Marshal(stats)
 		if err != nil {
 			return err
 		}
-		resp, err := a.client.Post(a.clusterURL+"/v1/metrics", "application/json", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.clusterURL+"/v1/metrics", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := a.client.Do(req)
 		if err != nil {
 			return fmt.Errorf("dataplane: agent push: %w", err)
 		}
@@ -65,7 +72,11 @@ func (a *Agent) Sync() error {
 			return fmt.Errorf("dataplane: agent push: status %d", resp.StatusCode)
 		}
 	}
-	resp, err := a.client.Get(a.clusterURL + "/v1/rules")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, a.clusterURL+"/v1/rules", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := a.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("dataplane: agent poll: %w", err)
 	}
@@ -90,11 +101,11 @@ func (a *Agent) Sync() error {
 func (a *Agent) Run(ctx context.Context) {
 	t := time.NewTicker(a.period)
 	defer t.Stop()
-	a.Sync()
+	a.Sync(ctx)
 	for {
 		select {
 		case <-t.C:
-			a.Sync() // errors tolerated; next round retries
+			a.Sync(ctx) // errors tolerated; next round retries
 		case <-ctx.Done():
 			return
 		}

@@ -50,7 +50,7 @@ func TestAgentSyncPushesTelemetryAndAppliesRules(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := agent.Sync(); err != nil {
+	if err := agent.Sync(t.Context()); err != nil {
 		t.Fatalf("Sync: %v", err)
 	}
 	if pushed != 1 {
@@ -61,7 +61,7 @@ func TestAgentSyncPushesTelemetryAndAppliesRules(t *testing.T) {
 	}
 	// Second sync with no new telemetry: no push, same table (version
 	// unchanged -> SetTable skipped).
-	if err := agent.Sync(); err != nil {
+	if err := agent.Sync(t.Context()); err != nil {
 		t.Fatal(err)
 	}
 	if pushed != 1 {
@@ -77,7 +77,7 @@ func TestAgentSurvivesControllerOutage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := agent.Sync(); err == nil {
+	if err := agent.Sync(t.Context()); err == nil {
 		t.Error("sync against dead controller should error")
 	}
 	// Run must not crash and must stop on cancel.

@@ -17,7 +17,6 @@ package dataplane
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
@@ -27,6 +26,7 @@ import (
 	"github.com/servicelayernetworking/slate/internal/classifier"
 	"github.com/servicelayernetworking/slate/internal/netem"
 	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/sim"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
@@ -78,7 +78,12 @@ type Config struct {
 	Classifier *classifier.Classifier
 	// Transport overrides the outbound HTTP transport (tests).
 	Transport http.RoundTripper
-	// Seed makes routing picks reproducible.
+	// RNG is the stream for routing picks and span IDs, typically
+	// derived from the scenario seed (sim.NewRNG(seed).DeriveNamed(...))
+	// so every sidecar draws an independent, reproducible stream. Nil
+	// falls back to a stream seeded with Seed.
+	RNG *sim.RNG
+	// Seed makes routing picks reproducible when RNG is nil.
 	Seed int64
 	// Fallback lists clusters to try, in order (typically nearest
 	// first), when the routed cluster has no replicas of the target
@@ -101,7 +106,7 @@ type Proxy struct {
 	fallback []topology.ClusterID
 
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *sim.RNG
 
 	client *http.Client
 
@@ -125,6 +130,10 @@ func New(cfg Config) (*Proxy, error) {
 	if tr == nil {
 		tr = &http.Transport{MaxIdleConnsPerHost: 64}
 	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = sim.NewRNG(cfg.Seed)
+	}
 	p := &Proxy{
 		service:  cfg.Service,
 		cluster:  cfg.Cluster,
@@ -134,7 +143,7 @@ func New(cfg Config) (*Proxy, error) {
 		nem:      cfg.Netem,
 		cls:      cls,
 		agg:      telemetry.NewAggregator(),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rng:      rng,
 		client:   &http.Client{Transport: tr},
 	}
 	p.table.Store(routing.EmptyTable())

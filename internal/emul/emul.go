@@ -27,6 +27,7 @@ import (
 	"github.com/servicelayernetworking/slate/internal/core"
 	"github.com/servicelayernetworking/slate/internal/dataplane"
 	"github.com/servicelayernetworking/slate/internal/netem"
+	"github.com/servicelayernetworking/slate/internal/sim"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
@@ -62,6 +63,8 @@ type Mesh struct {
 	global   *controlplane.Global
 	gsrv     *http.Server
 	gURL     string
+	ctx      context.Context
+	cancel   context.CancelFunc
 	stopCtrl chan struct{}
 	wg       sync.WaitGroup
 
@@ -116,6 +119,13 @@ func Start(opts Options) (*Mesh, error) {
 		proxies:  map[poolID]*dataplane.Proxy{},
 		ccs:      map[topology.ClusterID]*controlplane.Cluster{},
 	}
+	// ctx spans the mesh's lifetime: Close cancels it, which aborts any
+	// in-flight control-plane RPC instead of waiting out HTTP timeouts.
+	m.ctx, m.cancel = context.WithCancel(context.Background())
+	// One RNG stream per sidecar, derived by pool name: derivation is a
+	// pure function of (seed, name), so routing draws are reproducible
+	// regardless of the map-iteration order pools start in.
+	rng := sim.NewRNG(opts.Seed)
 
 	// Global controller.
 	ctrl, err := core.NewController(opts.Top, opts.App, opts.Controller)
@@ -138,7 +148,7 @@ func Start(opts Options) (*Mesh, error) {
 			m.Close()
 			return nil, err
 		}
-		if err := cc.Register(ccURL); err != nil {
+		if err := cc.Register(m.ctx, ccURL); err != nil {
 			m.Close()
 			return nil, err
 		}
@@ -164,7 +174,7 @@ func Start(opts Options) (*Mesh, error) {
 				LocalApp: appURL,
 				Resolver: m.registry,
 				Netem:    m.nem,
-				Seed:     opts.Seed + int64(len(m.proxies)),
+				RNG:      rng.DeriveNamed(string(sid) + "@" + string(cl)),
 				Fallback: opts.Top.Nearest(cl),
 			})
 			if err != nil {
@@ -208,11 +218,11 @@ func Start(opts Options) (*Mesh, error) {
 // and pushes rules.
 func (m *Mesh) TickControl(window time.Duration) error {
 	for _, cc := range m.ccs {
-		if err := cc.Report(window); err != nil {
+		if err := cc.Report(m.ctx, window); err != nil {
 			return err
 		}
 	}
-	return m.global.Tick()
+	return m.global.Tick(m.ctx)
 }
 
 // FrontendURL returns the frontend sidecar URL in a cluster — where
@@ -271,6 +281,7 @@ func (m *Mesh) Close() {
 	if m.stopCtrl != nil {
 		close(m.stopCtrl)
 	}
+	m.cancel() // abort in-flight control-plane RPCs
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	for _, s := range servers {

@@ -1,0 +1,11 @@
+package experiments
+
+import "math"
+
+// almostEqual compares floats with a small absolute+relative tolerance.
+// Exact float equality is a latent bug once values flow through
+// arithmetic (the floatcmp analyzer flags it); tests assert with this
+// helper instead.
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}

@@ -30,7 +30,7 @@ func TestFig3Shapes(t *testing.T) {
 	opt := byName["slate-optimal"]
 	lookup := func(s Series, x float64) (float64, bool) {
 		for i := range s.X {
-			if s.X[i] == x {
+			if almostEqual(s.X[i], x) {
 				return s.Y[i], true
 			}
 		}
@@ -79,7 +79,7 @@ func TestFig4ThresholdShapes(t *testing.T) {
 	}
 	// At low load everything stays local; at 1000 RPS some offload must
 	// happen (west cap is 760).
-	if rtt50.Y[0] != rtt50.X[0] {
+	if !almostEqual(rtt50.Y[0], rtt50.X[0]) {
 		t.Error("at 100 RPS everything should stay local")
 	}
 	last := len(rtt5.X) - 1
@@ -185,7 +185,7 @@ func TestDownsampleCDF(t *testing.T) {
 	if len(d.X) != 10 {
 		t.Fatalf("len = %d, want 10", len(d.X))
 	}
-	if d.X[0] != 0 || d.X[9] != 999 {
+	if !almostEqual(d.X[0], 0) || !almostEqual(d.X[9], 999) {
 		t.Errorf("endpoints = %v, %v", d.X[0], d.X[9])
 	}
 	// Short series pass through.

@@ -364,7 +364,7 @@ func solveSquare(planes []plane, idx []int, n int) ([]float64, bool) {
 			a[col][j] /= f
 		}
 		for r := 0; r < n; r++ {
-			if r != col && a[r][col] != 0 {
+			if r != col && a[r][col] != 0 { //slate:nolint floatcmp -- reference elimination skips structurally exact zeros
 				f := a[r][col]
 				for j := col; j <= n; j++ {
 					a[r][j] -= f * a[col][j]

@@ -125,7 +125,7 @@ func (m *Model) AddConstraint(name string, terms []Term, rel Rel, rhs float64) e
 	}
 	out := make([]Term, 0, len(merged))
 	for v := Var(0); int(v) < len(m.vars); v++ {
-		if c, ok := merged[v]; ok && c != 0 {
+		if c, ok := merged[v]; ok && c != 0 { //slate:nolint floatcmp -- sparsity: drop exactly-cancelled terms only
 			out = append(out, Term{Var: v, Coef: c})
 		}
 	}

@@ -168,7 +168,7 @@ func (t *tableau) solve(m *Model) (*Solution, error) {
 	// Price out the basis from the phase-2 row.
 	for i := 0; i < t.rows; i++ {
 		b := t.basis[i]
-		if c := t.a[objRow2][b]; c != 0 {
+		if c := t.a[objRow2][b]; c != 0 { //slate:nolint floatcmp -- pivot elimination skips exact zeros only
 			addRow(t.a[objRow2], t.a[i], -c)
 		}
 	}
@@ -284,7 +284,7 @@ func (t *tableau) pivot(row, col int) {
 		if i == row {
 			continue
 		}
-		if c := t.a[i][col]; c != 0 {
+		if c := t.a[i][col]; c != 0 { //slate:nolint floatcmp -- pivot elimination skips exact zeros only
 			addRow(t.a[i], t.a[row], -c)
 			t.a[i][col] = 0 // cancel roundoff exactly
 		}

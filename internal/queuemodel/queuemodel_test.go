@@ -38,10 +38,10 @@ func TestErlangCBounds(t *testing.T) {
 			t.Errorf("ErlangC(%v) = %v out of [0,1]", lambda, c)
 		}
 	}
-	if m.ErlangC(0) != 0 {
+	if !almostEqual(m.ErlangC(0), 0) {
 		t.Error("ErlangC(0) != 0")
 	}
-	if m.ErlangC(m.Capacity()) != 1 {
+	if !almostEqual(m.ErlangC(m.Capacity()), 1) {
 		t.Error("ErlangC at capacity != 1")
 	}
 }

@@ -27,7 +27,7 @@ func TestDistributionNormalizes(t *testing.T) {
 	if w := d.Weight("b"); math.Abs(w-0.75) > 1e-12 {
 		t.Errorf("weight b = %v, want 0.75", w)
 	}
-	if w := d.Weight("c"); w != 0 {
+	if w := d.Weight("c"); !almostEqual(w, 0) {
 		t.Errorf("weight c = %v, want 0", w)
 	}
 }
@@ -95,7 +95,7 @@ func TestPickFrequenciesMatchWeights(t *testing.T) {
 
 func TestLocal(t *testing.T) {
 	d := Local("west")
-	if d.Pick(0.99) != "west" || d.Weight("west") != 1 {
+	if d.Pick(0.99) != "west" || !almostEqual(d.Weight("west"), 1) {
 		t.Error("Local distribution wrong")
 	}
 }
@@ -107,16 +107,16 @@ func TestTableLookupFallbacks(t *testing.T) {
 		{"svc", "H", "west"}:      exact,
 		{"svc", AnyClass, "west"}: wild,
 	})
-	if got := tab.Lookup("svc", "H", "west"); got.Weight("a") != 1 {
+	if got := tab.Lookup("svc", "H", "west"); !almostEqual(got.Weight("a"), 1) {
 		t.Error("exact class lookup failed")
 	}
-	if got := tab.Lookup("svc", "L", "west"); got.Weight("b") != 1 {
+	if got := tab.Lookup("svc", "L", "west"); !almostEqual(got.Weight("b"), 1) {
 		t.Error("wildcard fallback failed")
 	}
-	if got := tab.Lookup("svc", "L", "east"); got.Weight("east") != 1 {
+	if got := tab.Lookup("svc", "L", "east"); !almostEqual(got.Weight("east"), 1) {
 		t.Error("local fallback failed")
 	}
-	if got := tab.Lookup("other", "H", "west"); got.Weight("west") != 1 {
+	if got := tab.Lookup("other", "H", "west"); !almostEqual(got.Weight("west"), 1) {
 		t.Error("unknown service should route local")
 	}
 }
@@ -325,7 +325,7 @@ func TestPickNeverSelectsZeroWeightProperty(t *testing.T) {
 		for _, w := range weights {
 			total += w
 		}
-		if total == 0 {
+		if almostEqual(total, 0) {
 			return true // invalid distribution, constructor rejects it
 		}
 		d, err := NewDistribution(weights)

@@ -156,7 +156,7 @@ func (t *TopologySpec) build() (*topology.Topology, error) {
 		return nil, fmt.Errorf("scenario: unknown topology preset %q", t.Preset)
 	}
 	egress := t.DefaultEgressPerGB
-	if egress == 0 {
+	if egress == 0 { //slate:nolint floatcmp -- zero means "unset in the JSON": assigned literally
 		egress = topology.DefaultEgressPerGB
 	}
 	b := topology.NewBuilder(egress)

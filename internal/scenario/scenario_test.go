@@ -35,7 +35,7 @@ func TestLoadPresetScenario(t *testing.T) {
 	if len(app.Services) != 3 { // gateway + 2
 		t.Errorf("services = %d", len(app.Services))
 	}
-	if demand["default"][topology.West] != 500 {
+	if !almostEqual(demand["default"][topology.West], 500) {
 		t.Errorf("demand = %v", demand)
 	}
 }
@@ -88,7 +88,7 @@ func TestLoadExplicitScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if top.EgressCostPerGB("a", "b") != 0.02 {
+	if !almostEqual(top.EgressCostPerGB("a", "b"), 0.02) {
 		t.Errorf("egress = %v", top.EgressCostPerGB("a", "b"))
 	}
 	cl := app.Class("main")
@@ -99,7 +99,7 @@ func TestLoadExplicitScenario(t *testing.T) {
 	if be.Work.Dist.String() != "deterministic" {
 		t.Errorf("dist = %v", be.Work.Dist)
 	}
-	if demand["main"]["a"] != 50 {
+	if !almostEqual(demand["main"]["a"], 50) {
 		t.Errorf("demand = %v", demand)
 	}
 }

@@ -51,6 +51,9 @@ func (g *RNG) Float64() float64 { return g.r.Float64() }
 // Intn returns a uniform draw in [0, n).
 func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
 
+// Int63 returns a uniform non-negative 63-bit draw (for ID minting).
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
 // Exp returns an exponential draw with the given mean.
 func (g *RNG) Exp(mean float64) float64 {
 	if mean <= 0 {

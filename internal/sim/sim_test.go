@@ -190,7 +190,7 @@ func TestKernelEventsProcessedSkipsCancelled(t *testing.T) {
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 1000; i++ {
-		if a.Float64() != b.Float64() {
+		if a.Float64() != b.Float64() { //slate:nolint floatcmp -- bit-exact reproducibility is the property under test
 			t.Fatal("same-seed streams diverged")
 		}
 	}
@@ -202,7 +202,7 @@ func TestRNGDeriveIndependence(t *testing.T) {
 	p1, p2 := NewRNG(7), NewRNG(7)
 	c1, c2 := p1.Derive(1), p2.Derive(1)
 	for i := 0; i < 100; i++ {
-		if c1.Float64() != c2.Float64() {
+		if c1.Float64() != c2.Float64() { //slate:nolint floatcmp -- bit-exact reproducibility is the property under test
 			t.Fatal("derived streams with same lineage diverged")
 		}
 	}
@@ -210,7 +210,7 @@ func TestRNGDeriveIndependence(t *testing.T) {
 	d2 := NewRNG(7).Derive(2)
 	same := true
 	for i := 0; i < 16; i++ {
-		if d1.Float64() != d2.Float64() {
+		if d1.Float64() != d2.Float64() { //slate:nolint floatcmp -- bit-exact divergence is the property under test
 			same = false
 			break
 		}
@@ -246,7 +246,7 @@ func TestRNGExpMean(t *testing.T) {
 
 func TestRNGExpNonPositiveMean(t *testing.T) {
 	g := NewRNG(1)
-	if g.Exp(0) != 0 || g.Exp(-5) != 0 {
+	if !almostEqual(g.Exp(0), 0) || !almostEqual(g.Exp(-5), 0) {
 		t.Error("Exp with non-positive mean should return 0")
 	}
 }

@@ -142,7 +142,7 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 // Merge adds other's observations into h. The histograms must have been
 // created with identical parameters.
 func (h *Histogram) Merge(other *Histogram) error {
-	if len(h.counts) != len(other.counts) || h.min != other.min || h.max != other.max || h.growth != other.growth {
+	if len(h.counts) != len(other.counts) || h.min != other.min || h.max != other.max || h.growth != other.growth { //slate:nolint floatcmp -- construction parameters are copied verbatim, never computed
 		return fmt.Errorf("telemetry: merging histograms with different shapes")
 	}
 	for i, c := range other.counts {

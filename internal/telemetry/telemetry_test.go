@@ -120,7 +120,7 @@ func TestHistogramCDFMonotone(t *testing.T) {
 	prevF := 0.0
 	prevL := time.Duration(-1)
 	for _, p := range cdf {
-		if p.Fraction <= prevF && p.Fraction != prevF {
+		if p.Fraction < prevF {
 			t.Fatal("CDF fractions not nondecreasing")
 		}
 		if p.Latency <= prevL {
@@ -128,7 +128,7 @@ func TestHistogramCDFMonotone(t *testing.T) {
 		}
 		prevF, prevL = p.Fraction, p.Latency
 	}
-	if last := cdf[len(cdf)-1].Fraction; last != 1.0 {
+	if last := cdf[len(cdf)-1].Fraction; !almostEqual(last, 1.0) {
 		t.Errorf("CDF should end at 1.0, got %v", last)
 	}
 }
@@ -280,7 +280,7 @@ func TestAggregatorFlush(t *testing.T) {
 	if stats[0].Key != k2 || stats[1].Key != k1 {
 		t.Fatalf("order = %v", stats)
 	}
-	if stats[1].Requests != 10 || stats[1].RPS != 5 {
+	if stats[1].Requests != 10 || !almostEqual(stats[1].RPS, 5) {
 		t.Errorf("k1 stats = %+v, want 10 reqs, 5 rps", stats[1])
 	}
 	if stats[1].EgressBytes != 1000 {
@@ -324,7 +324,7 @@ func TestMergeWeightsMeans(t *testing.T) {
 		t.Fatalf("merge = %d entries", len(out))
 	}
 	ws := out[0]
-	if ws.Requests != 40 || ws.RPS != 40 || ws.EgressBytes != 12 {
+	if ws.Requests != 40 || !almostEqual(ws.RPS, 40) || ws.EgressBytes != 12 {
 		t.Errorf("merged = %+v", ws)
 	}
 	// Weighted mean: (10*10 + 30*30)/40 = 25ms.

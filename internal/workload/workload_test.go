@@ -43,7 +43,7 @@ func TestRateAt(t *testing.T) {
 		{time.Hour, 100}, // open-ended tail
 	}
 	for _, tc := range cases {
-		if got := s.RateAt(tc.t); got != tc.want {
+		if got := s.RateAt(tc.t); !almostEqual(got, tc.want) {
 			t.Errorf("RateAt(%v) = %v, want %v", tc.t, got, tc.want)
 		}
 	}
@@ -54,7 +54,7 @@ func TestRateAtEndedSchedule(t *testing.T) {
 		{RPS: 100, Duration: 10 * time.Second},
 		{RPS: 50, Duration: 10 * time.Second},
 	}}
-	if got := s.RateAt(25 * time.Second); got != 0 {
+	if got := s.RateAt(25 * time.Second); !almostEqual(got, 0) {
 		t.Errorf("ended schedule rate = %v, want 0", got)
 	}
 }

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# check.sh — the expanded tier-1 gate for the SLATE repo.
+#
+# Runs, in order:
+#   1. gofmt -l         (formatting drift)
+#   2. go vet ./...     (stdlib static checks)
+#   3. slate-lint ./... (SLATE-specific analyzers: lockguard, floatcmp,
+#                        detrand, ctxprop — see internal/analysis)
+#   4. go test -race ./... (full suite under the race detector)
+#
+# Any failure aborts the run with a non-zero exit. Usage:
+#   ./scripts/check.sh          # everything, from the repo root
+#   SKIP_RACE=1 ./scripts/check.sh   # quick mode: plain `go test` instead
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "==> gofmt"
+unformatted=$(find . -name '*.go' -not -path './testdata/*' -not -path './.git/*' -exec gofmt -l {} +)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+echo "==> go vet ./..."
+go vet ./... || fail=1
+
+echo "==> slate-lint ./..."
+go run ./cmd/slate-lint ./... || fail=1
+
+if [ "${SKIP_RACE:-}" = "1" ]; then
+    echo "==> go test ./... (SKIP_RACE=1)"
+    go test ./... || fail=1
+else
+    echo "==> go test -race ./..."
+    go test -race ./... || fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "check.sh: FAILED" >&2
+    exit 1
+fi
+echo "check.sh: OK"

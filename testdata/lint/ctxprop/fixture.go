@@ -1,0 +1,45 @@
+// Package fixture exercises the ctxprop analyzer.
+package fixture
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// pushMetrics drops the caller's context: shutdown cannot cancel the
+// upload.
+func pushMetrics(client *http.Client, url string) error {
+	resp, err := client.Post(url, "application/json", strings.NewReader("{}")) // want `Post binds the request to the background context`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// pollRules uses the package-level convenience.
+func pollRules(url string) error {
+	resp, err := http.Get(url) // want `Get binds the request to the background context`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// buildRequest binds to context.Background via NewRequest.
+func buildRequest(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want `NewRequest binds the request to the background context`
+}
+
+// pushMetricsCtx is the sanctioned form: no finding.
+func pushMetricsCtx(ctx context.Context, client *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, "POST", url, strings.NewReader("{}"))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

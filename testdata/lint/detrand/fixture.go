@@ -1,0 +1,32 @@
+// Package fixture exercises the detrand analyzer.
+package fixture
+
+import (
+	"math/rand" // want `math/rand in simulation/routing code bypasses the scenario seed`
+)
+
+// pickGlobal draws from the process-global auto-seeded source: two runs
+// of the same scenario route differently.
+func pickGlobal(weights []float64) int {
+	u := rand.Float64() // want `math/rand\.Float64 uses the process-global auto-seeded source`
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// shuffleGlobal also hits the global source.
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle uses the process-global auto-seeded source`
+}
+
+// privateStream is seeded but bypasses the scenario seed's derivation
+// tree; only the import diagnostic covers it (no extra finding here).
+func privateStream(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

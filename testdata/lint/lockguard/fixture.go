@@ -1,0 +1,82 @@
+// Package fixture exercises the lockguard analyzer.
+package fixture
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	client *http.Client
+	n      int
+}
+
+func (s *state) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `s\.mu held across time\.Sleep`
+	s.mu.Unlock()
+}
+
+func (s *state) rpcUnderDeferredLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := s.client.Get("http://example.invalid/") // want `s\.mu held across \(\*http\.Client\)\.Get`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func (s *state) chanOpsUnderRLock(ch chan int) int {
+	s.rw.RLock()
+	v := <-ch // want `s\.rw held across channel receive`
+	ch <- v   // want `s\.rw held across channel send`
+	s.rw.RUnlock()
+	return v
+}
+
+func (s *state) selectUnderLock(ch chan int, stop chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `s\.mu held across select without default`
+	case <-ch:
+	case <-stop:
+	}
+}
+
+// lockSnapshotUnlock is the sanctioned pattern: snapshot under the
+// lock, release, then block. No findings.
+func (s *state) lockSnapshotUnlock() error {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	time.Sleep(time.Duration(n))
+	resp, err := s.client.Get("http://example.invalid/")
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// nonBlockingSelect has a default clause: it cannot block.
+func (s *state) nonBlockingSelect(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+// goroutineEscapes: the blocking call runs in a new goroutine that does
+// not hold the lock.
+func (s *state) goroutineEscapes() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
