@@ -135,6 +135,16 @@ func BenchmarkAutoscalerInteraction(b *testing.B) {
 		"combined_burst_mean_ms", "scaling_suppression_ratio")
 }
 
+// BenchmarkChaos regenerates the fault-injection experiment: hardened
+// (rule-staleness TTL) vs stale-forever dataplane through a
+// global-controller outage overlapping a cluster partition (paper §5
+// "do no harm when the controller is blind").
+func BenchmarkChaos(b *testing.B) {
+	runFigure(b, experiments.Chaos,
+		"hardened_availability", "unhardened_availability",
+		"availability_gain", "hardened_recovery_s")
+}
+
 // --- Micro-benchmarks of the hot paths -------------------------------
 
 // BenchmarkOptimizerSolve measures one full LP build+solve for the

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, fig6a..fig6d, headline, ablation-*) or \"all\"")
+		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, fig6a..fig6d, headline, ablation-*, burst, chaos, ...) or \"all\"")
 		duration = flag.Duration("duration", 60*time.Second, "virtual measurement duration per run")
 		warmup   = flag.Duration("warmup", 10*time.Second, "virtual warmup excluded from results")
 		seed     = flag.Int64("seed", 42, "simulation seed")

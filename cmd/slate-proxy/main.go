@@ -43,6 +43,12 @@ func main() {
 		resolver = flag.String("resolver", "", "JSON file mapping service@cluster to sidecar URLs (required)")
 		period   = flag.Duration("sync-period", 5*time.Second, "telemetry push / rule poll interval")
 		seed     = flag.Int64("seed", 0, "routing pick seed (0 = time-based)")
+
+		// Graceful-degradation knobs (see DESIGN.md "degradation ladder").
+		staleAfter = flag.Duration("stale-after", 0, "rule staleness TTL: past it the proxy degrades to local-biased routing until the controller answers (0 = hold stale rules forever)")
+		retries    = flag.Int("sync-retries", 2, "per-RPC retry attempts within one sync round (-1 disables)")
+		backoff    = flag.Duration("sync-backoff", 100*time.Millisecond, "base retry backoff, doubled per attempt with seeded jitter")
+		maxPending = flag.Int("max-pending-windows", 8, "telemetry windows re-queued across failed pushes before dropping the oldest")
 	)
 	flag.Parse()
 	if *service == "" || *cluster == "" || *localApp == "" || *resolver == "" {
@@ -58,11 +64,12 @@ func main() {
 		*seed = time.Now().UnixNano()
 	}
 	proxy, err := dataplane.New(dataplane.Config{
-		Service:  *service,
-		Cluster:  topology.ClusterID(*cluster),
-		LocalApp: *localApp,
-		Resolver: peers,
-		Seed:     *seed,
+		Service:    *service,
+		Cluster:    topology.ClusterID(*cluster),
+		LocalApp:   *localApp,
+		Resolver:   peers,
+		Seed:       *seed,
+		StaleAfter: *staleAfter,
 	})
 	if err != nil {
 		log.Fatalf("slate-proxy: %v", err)
@@ -71,7 +78,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *ccURL != "" {
-		agent, err := dataplane.NewAgent(proxy, *ccURL, *period)
+		agent, err := dataplane.NewAgentOpts(proxy, *ccURL, dataplane.AgentOptions{
+			Period:            *period,
+			MaxRetries:        *retries,
+			BackoffBase:       *backoff,
+			Seed:              *seed,
+			MaxPendingWindows: *maxPending,
+		})
 		if err != nil {
 			log.Fatalf("slate-proxy: %v", err)
 		}

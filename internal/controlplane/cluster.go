@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -16,22 +17,44 @@ import (
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
 
+// ingestGroup is one externally pushed telemetry batch, stamped with
+// the pushing proxy's identity and arrival time so stale batches can
+// be excluded from the upstream snapshot.
+type ingestGroup struct {
+	source string // "service@cluster" from X-Slate-Source, or ""
+	at     time.Time
+	stats  []telemetry.WindowStats
+}
+
 // Cluster is the Cluster Controller daemon for one cluster: it
 // aggregates telemetry from the cluster's SLATE-proxies, tags it with
 // the cluster ID (instances don't know which cluster they belong to —
 // paper §3.2), relays it to the Global Controller, and fans rule pushes
 // out to every proxy.
+//
+// Graceful degradation: pushing proxies identify themselves via the
+// X-Slate-Source header; the controller remembers when each source was
+// last heard from. With a staleness bound set (SetStaleAfter), Collect
+// excludes buffered batches older than the bound from the global
+// snapshot — a re-delivered backlog from a long-dead agent must not
+// masquerade as current load — and marks sources that have gone silent
+// (MissingProxies, also served at GET /v1/health).
 type Cluster struct {
 	id        topology.ClusterID
 	globalURL string
 
-	mu       sync.Mutex
-	proxies  []*dataplane.Proxy
-	ingested [][]telemetry.WindowStats
-	last     []telemetry.WindowStats
-	table    *routing.Table
+	mu         sync.Mutex
+	proxies    []*dataplane.Proxy
+	ingested   []ingestGroup
+	sources    map[string]time.Time
+	missing    []string
+	excluded   int
+	staleAfter time.Duration
+	last       []telemetry.WindowStats
+	table      *routing.Table
 
 	client *http.Client
+	now    func() time.Time
 }
 
 // NewCluster returns a cluster controller reporting to globalURL (may
@@ -41,9 +64,26 @@ func NewCluster(id topology.ClusterID, globalURL string) *Cluster {
 	return &Cluster{
 		id:        id,
 		globalURL: globalURL,
+		sources:   make(map[string]time.Time),
 		table:     routing.EmptyTable(),
 		client:    &http.Client{Timeout: 10 * time.Second},
+		now:       time.Now,
 	}
+}
+
+// SetTransport swaps the HTTP transport used for upstream RPCs (fault
+// injection, tests). Call before Run.
+func (c *Cluster) SetTransport(rt http.RoundTripper) {
+	c.client.Transport = rt
+}
+
+// SetStaleAfter bounds telemetry staleness: Collect excludes pushed
+// batches older than d and marks sources silent for longer than d as
+// missing. Zero (the default) disables both.
+func (c *Cluster) SetStaleAfter(d time.Duration) {
+	c.mu.Lock()
+	c.staleAfter = d
+	c.mu.Unlock()
 }
 
 // ID returns the controller's cluster.
@@ -65,6 +105,7 @@ func (c *Cluster) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/rules", c.handleGetRules)
 	mux.HandleFunc("POST /v1/metrics", c.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", c.handleStats)
+	mux.HandleFunc("GET /v1/health", c.handleHealth)
 	return mux
 }
 
@@ -84,15 +125,64 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	c.Ingest(stats)
+	c.IngestFrom(r.Header.Get(dataplane.HeaderSource), stats)
 	w.WriteHeader(http.StatusAccepted)
 }
 
-// Ingest buffers externally pushed telemetry for the next Report.
+// Ingest buffers externally pushed telemetry for the next Report,
+// without a source identity.
 func (c *Cluster) Ingest(stats []telemetry.WindowStats) {
+	c.IngestFrom("", stats)
+}
+
+// IngestFrom buffers externally pushed telemetry for the next Report
+// and records when the pushing proxy was last heard from.
+func (c *Cluster) IngestFrom(source string, stats []telemetry.WindowStats) {
+	now := c.now()
 	c.mu.Lock()
-	c.ingested = append(c.ingested, stats)
+	c.ingested = append(c.ingested, ingestGroup{source: source, at: now, stats: stats})
+	if source != "" {
+		c.sources[source] = now
+	}
 	c.mu.Unlock()
+}
+
+// MissingProxies returns the sources that had not reported within the
+// staleness bound as of the last Collect, sorted.
+func (c *Cluster) MissingProxies() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.missing...)
+}
+
+// ExcludedStaleWindows returns how many pushed batches Collect has
+// excluded as stale since the controller started.
+func (c *Cluster) ExcludedStaleWindows() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.excluded
+}
+
+// Health is the cluster controller's degradation snapshot, served at
+// GET /v1/health.
+type Health struct {
+	Cluster        topology.ClusterID `json:"cluster"`
+	TableVersion   uint64             `json:"table_version"`
+	MissingProxies []string           `json:"missing_proxies,omitempty"`
+	ExcludedStale  int                `json:"excluded_stale_windows"`
+}
+
+func (c *Cluster) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	h := Health{
+		Cluster:        c.id,
+		TableVersion:   c.table.Version,
+		MissingProxies: append([]string(nil), c.missing...),
+		ExcludedStale:  c.excluded,
+	}
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
 }
 
 func (c *Cluster) handleRules(w http.ResponseWriter, r *http.Request) {
@@ -143,12 +233,39 @@ func (c *Cluster) Table() *routing.Table {
 // and stamps the cluster ID onto every key (the proxies already tag
 // their own cluster, but the controller is authoritative — a proxy
 // cannot know its cluster in a real deployment).
+//
+// With a staleness bound set, pushed batches that sat in the buffer
+// longer than the bound are excluded from the merge — stale load data
+// in the global snapshot is worse than missing data, because the
+// optimizer would steer current traffic by a dead proxy's past — and
+// the set of silent sources is recomputed for MissingProxies.
 func (c *Cluster) Collect(window time.Duration) []telemetry.WindowStats {
+	now := c.now()
 	c.mu.Lock()
 	proxies := append([]*dataplane.Proxy(nil), c.proxies...)
-	groups := c.ingested
+	buffered := c.ingested
 	c.ingested = nil
+	staleAfter := c.staleAfter
+	var groups [][]telemetry.WindowStats
+	for _, g := range buffered {
+		if staleAfter > 0 && now.Sub(g.at) > staleAfter {
+			c.excluded++
+			continue
+		}
+		groups = append(groups, g.stats)
+	}
+	var missing []string
+	if staleAfter > 0 {
+		for src, seen := range c.sources {
+			if now.Sub(seen) > staleAfter {
+				missing = append(missing, src)
+			}
+		}
+		sort.Strings(missing)
+	}
+	c.missing = missing
 	c.mu.Unlock()
+
 	for _, p := range proxies {
 		groups = append(groups, p.FlushTelemetry(window))
 	}

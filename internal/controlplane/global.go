@@ -78,6 +78,12 @@ func NewGlobal(ctrl *core.Controller) *Global {
 	}
 }
 
+// SetTransport swaps the HTTP transport used for rule pushes (fault
+// injection, tests). Call before Run.
+func (g *Global) SetTransport(rt http.RoundTripper) {
+	g.client.Transport = rt
+}
+
 // Handler returns the daemon's HTTP API.
 func (g *Global) Handler() http.Handler {
 	mux := http.NewServeMux()

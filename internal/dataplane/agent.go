@@ -4,13 +4,74 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/sim"
+	"github.com/servicelayernetworking/slate/internal/telemetry"
 )
+
+// HeaderSource identifies the pushing proxy ("service@cluster") on
+// telemetry uploads, so the cluster controller can track which proxies
+// have gone silent and exclude their stale windows from the global
+// snapshot.
+const HeaderSource = "X-Slate-Source"
+
+// AgentOptions tunes the Agent's fault tolerance. The zero value gets
+// production defaults.
+type AgentOptions struct {
+	// Period is the sync interval (default 5s).
+	Period time.Duration
+	// Transport overrides the HTTP transport (fault injection, tests).
+	Transport http.RoundTripper
+	// MaxRetries bounds per-RPC retry attempts within one sync round
+	// beyond the first try (default 2; negative disables retries).
+	MaxRetries int
+	// BackoffBase is the first retry's backoff (default 100ms); each
+	// further retry doubles it, capped at BackoffMax (default 2s). The
+	// actual wait is jittered uniformly in [0.5, 1.5)x from RNG.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// RNG seeds the backoff jitter stream (nil derives from Seed).
+	RNG *sim.RNG
+	// Seed seeds the jitter stream when RNG is nil.
+	Seed int64
+	// MaxPendingWindows caps how many unpushed telemetry windows the
+	// agent re-queues across failed rounds before dropping the oldest
+	// (default 8). Re-queued windows are merged into the next
+	// successful push, so a controller outage loses no telemetry as
+	// long as it is shorter than MaxPendingWindows sync periods.
+	MaxPendingWindows int
+}
+
+func (o AgentOptions) withDefaults() AgentOptions {
+	if o.Period <= 0 {
+		o.Period = 5 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.RNG == nil {
+		o.RNG = sim.NewRNG(o.Seed).DeriveNamed("agent-backoff")
+	}
+	if o.MaxPendingWindows <= 0 {
+		o.MaxPendingWindows = 8
+	}
+	return o
+}
 
 // Agent connects a standalone (out-of-process) Proxy to its cluster
 // controller: it pushes the proxy's telemetry windows upstream
@@ -19,87 +80,191 @@ import (
 // controlplane.Cluster.AddProxy instead; the Agent is what
 // cmd/slate-proxy runs so a SLATE deployment can span real processes
 // and hosts.
+//
+// The Agent is hardened against a faulty control plane: each RPC is
+// retried with exponential backoff and seeded jitter, and a telemetry
+// window whose push ultimately fails is re-queued and merged into the
+// next round's upload instead of being dropped (bounded by
+// MaxPendingWindows).
 type Agent struct {
 	proxy      *Proxy
 	clusterURL string
-	period     time.Duration
+	opts       AgentOptions
 	client     *http.Client
 
 	lastVersion uint64
+	// pending holds flushed-but-unacknowledged telemetry windows.
+	// Only touched from Sync (one goroutine), so no lock.
+	pending [][]telemetry.WindowStats
+	// droppedWindows counts windows evicted by the pending cap.
+	droppedWindows int
+	// sleep is swapped by tests to avoid real backoff waits.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
-// NewAgent wires a proxy to a cluster controller base URL.
+// NewAgent wires a proxy to a cluster controller base URL with default
+// fault-tolerance options.
 func NewAgent(p *Proxy, clusterURL string, period time.Duration) (*Agent, error) {
+	return NewAgentOpts(p, clusterURL, AgentOptions{Period: period})
+}
+
+// NewAgentOpts wires a proxy to a cluster controller with explicit
+// options.
+func NewAgentOpts(p *Proxy, clusterURL string, opts AgentOptions) (*Agent, error) {
 	if p == nil || clusterURL == "" {
 		return nil, fmt.Errorf("dataplane: agent needs a proxy and a cluster controller URL")
 	}
-	if period <= 0 {
-		period = 5 * time.Second
-	}
+	opts = opts.withDefaults()
 	return &Agent{
 		proxy:      p,
 		clusterURL: clusterURL,
-		period:     period,
-		client:     &http.Client{Timeout: 10 * time.Second},
+		opts:       opts,
+		client:     &http.Client{Timeout: 10 * time.Second, Transport: opts.Transport},
+		sleep:      sleepCtx,
 	}, nil
 }
 
+// Period returns the agent's sync interval.
+func (a *Agent) Period() time.Duration { return a.opts.Period }
+
+// PendingWindows returns how many telemetry windows await a successful
+// push (introspection, tests).
+func (a *Agent) PendingWindows() int { return len(a.pending) }
+
+// DroppedWindows returns how many telemetry windows were evicted
+// because the controller stayed unreachable past the pending cap.
+func (a *Agent) DroppedWindows() int { return a.droppedWindows }
+
 // Sync performs one round: upload the telemetry accumulated since the
-// last round, then fetch and apply the current routing table. The
-// context bounds both RPCs so an agent shutdown cancels an in-flight
-// round instead of waiting out network timeouts. Errors are returned
-// but non-fatal: the proxy keeps serving with its last rules (a real
-// data plane must survive control-plane outages).
+// last round (plus any re-queued windows from failed rounds), then
+// fetch and apply the current routing table. The context bounds both
+// RPCs so an agent shutdown cancels an in-flight round instead of
+// waiting out network timeouts. Errors are returned but non-fatal: the
+// proxy keeps serving with its last rules (a real data plane must
+// survive control-plane outages).
 func (a *Agent) Sync(ctx context.Context) error {
-	stats := a.proxy.FlushTelemetry(a.period)
-	if len(stats) > 0 {
-		body, err := json.Marshal(stats)
-		if err != nil {
-			return err
+	pushErr := a.pushTelemetry(ctx)
+	pollErr := a.pollRules(ctx)
+	return errors.Join(pushErr, pollErr)
+}
+
+// pushTelemetry flushes the proxy's window, queues it behind any
+// unacknowledged windows, and attempts one (retried) upload of the
+// merged backlog. On failure the backlog is kept for the next round —
+// the fix for the telemetry-loss bug where a failed POST discarded the
+// flushed window.
+func (a *Agent) pushTelemetry(ctx context.Context) error {
+	if stats := a.proxy.FlushTelemetry(a.opts.Period); len(stats) > 0 {
+		a.pending = append(a.pending, stats)
+		if over := len(a.pending) - a.opts.MaxPendingWindows; over > 0 {
+			a.pending = a.pending[over:]
+			a.droppedWindows += over
 		}
+	}
+	if len(a.pending) == 0 {
+		return nil
+	}
+	// Merge the backlog into one upload: same-key windows combine into
+	// request-weighted totals, so a late push carries the outage's full
+	// traffic picture in one body.
+	merged := telemetry.Merge(a.pending...)
+	body, err := json.Marshal(merged)
+	if err != nil {
+		return err
+	}
+	err = a.withRetries(ctx, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.clusterURL+"/v1/metrics", bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(HeaderSource, a.proxy.Service()+"@"+string(a.proxy.Cluster()))
 		resp, err := a.client.Do(req)
 		if err != nil {
-			return fmt.Errorf("dataplane: agent push: %w", err)
+			return err
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode/100 != 2 {
-			return fmt.Errorf("dataplane: agent push: status %d", resp.StatusCode)
+			return fmt.Errorf("status %d", resp.StatusCode)
 		}
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, a.clusterURL+"/v1/rules", nil)
+		return nil
+	})
 	if err != nil {
-		return err
+		return fmt.Errorf("dataplane: agent push: %w", err)
 	}
-	resp, err := a.client.Do(req)
-	if err != nil {
-		return fmt.Errorf("dataplane: agent poll: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return fmt.Errorf("dataplane: agent poll: status %d", resp.StatusCode)
-	}
+	a.pending = nil
+	return nil
+}
+
+// pollRules fetches the routing table and applies it. Any successful
+// poll marks the proxy's rules fresh, even when the version is
+// unchanged — freshness means "the controller answered", not "the
+// rules changed".
+func (a *Agent) pollRules(ctx context.Context) error {
 	var table routing.Table
-	if err := json.NewDecoder(resp.Body).Decode(&table); err != nil {
+	err := a.withRetries(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, a.clusterURL+"/v1/rules", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := a.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		table = routing.Table{}
+		return json.NewDecoder(resp.Body).Decode(&table)
+	})
+	if err != nil {
 		return fmt.Errorf("dataplane: agent poll: %w", err)
 	}
 	if table.Version != a.lastVersion {
 		a.proxy.SetTable(&table)
 		a.lastVersion = table.Version
+	} else {
+		a.proxy.MarkRulesFresh()
 	}
 	return nil
+}
+
+// withRetries runs op up to 1+MaxRetries times with exponential
+// backoff and seeded jitter between attempts.
+func (a *Agent) withRetries(ctx context.Context, op func(context.Context) error) error {
+	var lastErr error
+	backoff := a.opts.BackoffBase
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return errors.Join(lastErr, err)
+		}
+		lastErr = op(ctx)
+		if lastErr == nil {
+			return nil
+		}
+		if attempt >= a.opts.MaxRetries {
+			return lastErr
+		}
+		// Jitter uniformly in [0.5, 1.5)x so a fleet of agents does not
+		// re-dial a recovering controller in lockstep.
+		wait := time.Duration(float64(backoff) * (0.5 + a.opts.RNG.Float64()))
+		if err := a.sleep(ctx, wait); err != nil {
+			return errors.Join(lastErr, err)
+		}
+		backoff *= 2
+		if backoff > a.opts.BackoffMax {
+			backoff = a.opts.BackoffMax
+		}
+	}
 }
 
 // Run syncs every period until the context is cancelled. The first
 // sync happens immediately.
 func (a *Agent) Run(ctx context.Context) {
-	t := time.NewTicker(a.period)
+	t := time.NewTicker(a.opts.Period)
 	defer t.Stop()
 	a.Sync(ctx)
 	for {
@@ -109,5 +274,17 @@ func (a *Agent) Run(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		}
+	}
+}
+
+// sleepCtx waits for d or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }

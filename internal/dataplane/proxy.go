@@ -90,6 +90,15 @@ type Config struct {
 	// service — the locality-failover behaviour of today's meshes
 	// (paper §2), which also covers partially replicated services.
 	Fallback []topology.ClusterID
+	// StaleAfter bounds rule staleness: when no rule push or
+	// successful poll has confirmed the table within this TTL, the
+	// proxy degrades to local-biased routing (100% local, with the
+	// usual locality failover) until the control plane answers again —
+	// the paper's "do no harm when the controller is blind" behaviour.
+	// Zero disables the bound: stale rules are held forever.
+	StaleAfter time.Duration
+	// Now overrides the clock (tests); nil uses time.Now.
+	Now func() time.Time
 }
 
 // Proxy is one SLATE-proxy instance. Safe for concurrent use.
@@ -104,6 +113,11 @@ type Proxy struct {
 
 	table    atomic.Pointer[routing.Table]
 	fallback []topology.ClusterID
+
+	staleAfter time.Duration
+	now        func() time.Time
+	lastFresh  atomic.Int64 // unix nanos of the last rule confirmation
+	degraded   atomic.Uint64
 
 	mu  sync.Mutex
 	rng *sim.RNG
@@ -134,30 +148,62 @@ func New(cfg Config) (*Proxy, error) {
 	if rng == nil {
 		rng = sim.NewRNG(cfg.Seed)
 	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 	p := &Proxy{
-		service:  cfg.Service,
-		cluster:  cfg.Cluster,
-		fallback: cfg.Fallback,
-		local:    cfg.LocalApp,
-		resolve:  cfg.Resolver,
-		nem:      cfg.Netem,
-		cls:      cls,
-		agg:      telemetry.NewAggregator(),
-		rng:      rng,
-		client:   &http.Client{Transport: tr},
+		service:    cfg.Service,
+		cluster:    cfg.Cluster,
+		fallback:   cfg.Fallback,
+		local:      cfg.LocalApp,
+		resolve:    cfg.Resolver,
+		nem:        cfg.Netem,
+		cls:        cls,
+		agg:        telemetry.NewAggregator(),
+		rng:        rng,
+		client:     &http.Client{Transport: tr},
+		staleAfter: cfg.StaleAfter,
+		now:        now,
 	}
 	p.table.Store(routing.EmptyTable())
+	p.lastFresh.Store(now().UnixNano())
 	return p, nil
 }
 
 // SetTable atomically swaps the routing rules (pushed by the cluster
-// controller).
+// controller) and marks them fresh.
 func (p *Proxy) SetTable(t *routing.Table) {
 	if t == nil {
 		t = routing.EmptyTable()
 	}
 	p.table.Store(t)
+	p.MarkRulesFresh()
 }
+
+// MarkRulesFresh restarts the staleness TTL: the control plane
+// confirmed the current table (a rule push, or a poll that returned an
+// unchanged version — freshness means "the controller answered", not
+// "the rules changed").
+func (p *Proxy) MarkRulesFresh() {
+	p.lastFresh.Store(p.now().UnixNano())
+}
+
+// RulesAge returns how long ago the control plane last confirmed the
+// routing table.
+func (p *Proxy) RulesAge() time.Duration {
+	return p.now().Sub(time.Unix(0, p.lastFresh.Load()))
+}
+
+// RulesStale reports whether the staleness TTL has expired, i.e. the
+// proxy is currently degrading to local-biased routing.
+func (p *Proxy) RulesStale() bool {
+	return p.staleAfter > 0 && p.RulesAge() > p.staleAfter
+}
+
+// DegradedPicks returns how many outbound routing decisions were made
+// in degraded (local-biased) mode since the proxy started.
+func (p *Proxy) DegradedPicks() uint64 { return p.degraded.Load() }
 
 // Table returns the active routing table.
 func (p *Proxy) Table() *routing.Table { return p.table.Load() }
@@ -257,7 +303,18 @@ func (p *Proxy) serveOutbound(w http.ResponseWriter, r *http.Request, targetServ
 	if class == "" {
 		class = classifier.Fallback
 	}
-	dist := p.table.Load().Lookup(targetService, class, p.cluster)
+	// Degradation ladder (DESIGN.md): fresh rules are applied as
+	// pushed; a table past its freshness TTL is distrusted and the
+	// proxy falls back to local-biased routing — when the controller is
+	// blind, stale cross-cluster weights may point at overloaded or
+	// unreachable pools, so "do no harm" means keeping traffic local.
+	var dist routing.Distribution
+	if p.RulesStale() {
+		p.degraded.Add(1)
+		dist = routing.Local(p.cluster)
+	} else {
+		dist = p.table.Load().Lookup(targetService, class, p.cluster)
+	}
 	p.mu.Lock()
 	u := p.rng.Float64()
 	p.mu.Unlock()

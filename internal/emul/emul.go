@@ -13,6 +13,7 @@ package emul
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -26,6 +27,7 @@ import (
 	"github.com/servicelayernetworking/slate/internal/controlplane"
 	"github.com/servicelayernetworking/slate/internal/core"
 	"github.com/servicelayernetworking/slate/internal/dataplane"
+	"github.com/servicelayernetworking/slate/internal/fault"
 	"github.com/servicelayernetworking/slate/internal/netem"
 	"github.com/servicelayernetworking/slate/internal/sim"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
@@ -48,6 +50,18 @@ type Options struct {
 	Controller core.ControllerConfig
 	// Seed for routing picks.
 	Seed int64
+	// Fault, when non-nil, injects failures into the mesh: every
+	// control-plane RPC goes through a fault.Transport, a crashed
+	// controller's HTTP API answers 503, and TickControl skips the
+	// global optimization while the global controller is down. Drive
+	// it directly (Crash/Restart/PartitionClusters) or replay a
+	// fault.Schedule via Injector.Sync.
+	Fault *fault.Injector
+	// StaleAfter bounds control-plane staleness during faults: cluster
+	// controllers exclude pushed telemetry older than this from the
+	// global snapshot, and proxies degrade to local-biased routing when
+	// their rules have not been refreshed within it. Zero disables both.
+	StaleAfter time.Duration
 }
 
 // Mesh is a running emulated deployment. Close it when done.
@@ -55,6 +69,7 @@ type Mesh struct {
 	opts     Options
 	nem      *netem.Emulator
 	registry *registry
+	hosts    *fault.HostMap // URL host -> fault target (nil without Fault)
 
 	servers  []*http.Server
 	lns      []net.Listener
@@ -122,6 +137,9 @@ func Start(opts Options) (*Mesh, error) {
 	// ctx spans the mesh's lifetime: Close cancels it, which aborts any
 	// in-flight control-plane RPC instead of waiting out HTTP timeouts.
 	m.ctx, m.cancel = context.WithCancel(context.Background())
+	if opts.Fault != nil {
+		m.hosts = fault.NewHostMap()
+	}
 	// One RNG stream per sidecar, derived by pool name: derivation is a
 	// pure function of (seed, name), so routing draws are reproducible
 	// regardless of the map-iteration order pools start in.
@@ -133,17 +151,26 @@ func Start(opts Options) (*Mesh, error) {
 		return nil, err
 	}
 	m.global = controlplane.NewGlobal(ctrl)
-	gURL, gsrv, err := m.serve(m.global.Handler())
+	gURL, gsrv, err := m.serveTarget(m.global.Handler(), fault.Global)
 	if err != nil {
 		m.Close()
 		return nil, err
 	}
 	m.gURL, m.gsrv = gURL, gsrv
+	if opts.Fault != nil {
+		m.global.SetTransport(fault.NewTransport(nil, opts.Fault, fault.Global, m.hosts))
+	}
 
 	// Cluster controllers.
 	for _, cl := range opts.Top.ClusterIDs() {
 		cc := controlplane.NewCluster(cl, gURL)
-		ccURL, _, err := m.serve(cc.Handler())
+		if opts.StaleAfter > 0 {
+			cc.SetStaleAfter(opts.StaleAfter)
+		}
+		if opts.Fault != nil {
+			cc.SetTransport(fault.NewTransport(nil, opts.Fault, fault.ClusterTarget(cl), m.hosts))
+		}
+		ccURL, _, err := m.serveTarget(cc.Handler(), fault.ClusterTarget(cl))
 		if err != nil {
 			m.Close()
 			return nil, err
@@ -169,19 +196,20 @@ func Start(opts Options) (*Mesh, error) {
 				return nil, err
 			}
 			proxy, err := dataplane.New(dataplane.Config{
-				Service:  string(sid),
-				Cluster:  cl,
-				LocalApp: appURL,
-				Resolver: m.registry,
-				Netem:    m.nem,
-				RNG:      rng.DeriveNamed(string(sid) + "@" + string(cl)),
-				Fallback: opts.Top.Nearest(cl),
+				Service:    string(sid),
+				Cluster:    cl,
+				LocalApp:   appURL,
+				Resolver:   m.registry,
+				Netem:      m.nem,
+				RNG:        rng.DeriveNamed(string(sid) + "@" + string(cl)),
+				Fallback:   opts.Top.Nearest(cl),
+				StaleAfter: opts.StaleAfter,
 			})
 			if err != nil {
 				m.Close()
 				return nil, err
 			}
-			proxyURL, _, err := m.serve(proxy)
+			proxyURL, _, err := m.serveTarget(proxy, fault.ProxyTarget(string(sid), cl))
 			if err != nil {
 				m.Close()
 				return nil, err
@@ -215,14 +243,60 @@ func Start(opts Options) (*Mesh, error) {
 
 // TickControl runs one control-plane round synchronously: every cluster
 // controller reports its window, then the global controller optimizes
-// and pushes rules.
+// and pushes rules. One cluster's failure does not stop the others —
+// during faults the surviving controllers must keep reporting — and a
+// crashed global controller skips the optimization entirely (errors
+// from all of it are joined).
 func (m *Mesh) TickControl(window time.Duration) error {
+	var errs []error
 	for _, cc := range m.ccs {
 		if err := cc.Report(m.ctx, window); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return m.global.Tick(m.ctx)
+	if f := m.opts.Fault; f != nil && f.IsDown(fault.Global) {
+		errs = append(errs, fmt.Errorf("emul: global controller down, optimization skipped"))
+		return errors.Join(errs...)
+	}
+	if err := m.global.Tick(m.ctx); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// CrashGlobal / RestartGlobal / CrashCluster / RestartCluster drive the
+// fault injector by component name; no-ops without Options.Fault.
+func (m *Mesh) CrashGlobal() {
+	if m.opts.Fault != nil {
+		m.opts.Fault.Crash(fault.Global)
+	}
+}
+
+// RestartGlobal brings a crashed global controller back.
+func (m *Mesh) RestartGlobal() {
+	if m.opts.Fault != nil {
+		m.opts.Fault.Restart(fault.Global)
+	}
+}
+
+// CrashCluster takes one cluster controller down.
+func (m *Mesh) CrashCluster(cl topology.ClusterID) {
+	if m.opts.Fault != nil {
+		m.opts.Fault.Crash(fault.ClusterTarget(cl))
+	}
+}
+
+// RestartCluster brings a crashed cluster controller back.
+func (m *Mesh) RestartCluster(cl topology.ClusterID) {
+	if m.opts.Fault != nil {
+		m.opts.Fault.Restart(fault.ClusterTarget(cl))
+	}
+}
+
+// ClusterController exposes a cluster's controller daemon (tests and
+// health introspection).
+func (m *Mesh) ClusterController(cl topology.ClusterID) *controlplane.Cluster {
+	return m.ccs[cl]
 }
 
 // FrontendURL returns the frontend sidecar URL in a cluster — where
@@ -247,6 +321,28 @@ func (m *Mesh) ClusterStats(cluster topology.ClusterID) []telemetry.WindowStats 
 		return nil
 	}
 	return cc.LastStats()
+}
+
+// serveTarget serves h as a named fault target: when the injector marks
+// the target down its API answers 503 (the crashed process), and the
+// listener's host is registered so fault transports can resolve
+// requests to this component. Without Options.Fault it is plain serve.
+func (m *Mesh) serveTarget(h http.Handler, t fault.Target) (string, *http.Server, error) {
+	if m.opts.Fault != nil {
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if m.opts.Fault.IsDown(t) {
+				http.Error(w, fmt.Sprintf("emul: %s is down", t), http.StatusServiceUnavailable)
+				return
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	url, srv, err := m.serve(h)
+	if err == nil && m.hosts != nil {
+		m.hosts.Register(url, t)
+	}
+	return url, srv, err
 }
 
 // serve starts an HTTP server on a fresh loopback listener.

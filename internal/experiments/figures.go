@@ -418,5 +418,6 @@ func All() map[string]func(Options) (*Figure, error) {
 		"burst":              BurstReaction,
 		"scalability":        Scalability,
 		"autoscaler":         AutoscalerInteraction,
+		"chaos":              Chaos,
 	}
 }

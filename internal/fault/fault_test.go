@@ -1,0 +1,238 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/sim"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+func TestTargetNaming(t *testing.T) {
+	if got := ClusterTarget(topology.West); got != "cluster:west" {
+		t.Errorf("ClusterTarget = %q", got)
+	}
+	if got := ProxyTarget("checkout", topology.East); got != "proxy:checkout@east" {
+		t.Errorf("ProxyTarget = %q", got)
+	}
+	cases := map[Target]topology.ClusterID{
+		Global:                          "",
+		ClusterTarget(topology.West):    topology.West,
+		ProxyTarget("svc", "east"):      "east",
+		Target("127.0.0.1:8080"):        "",
+		Target("proxy:noclustermarker"): "",
+	}
+	for in, want := range cases {
+		if got := ClusterOf(in); got != want {
+			t.Errorf("ClusterOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCrashRestart(t *testing.T) {
+	inj := NewInjector(sim.NewRNG(1))
+	cc := ClusterTarget(topology.West)
+	if d := inj.Decide(cc, Global); d.Drop {
+		t.Fatal("healthy edge dropped")
+	}
+	inj.Crash(Global)
+	if !inj.IsDown(Global) {
+		t.Error("IsDown(global) = false after Crash")
+	}
+	if d := inj.Decide(cc, Global); !d.Drop {
+		t.Error("RPC to crashed global not dropped")
+	}
+	if d := inj.Decide(Global, cc); !d.Drop {
+		t.Error("RPC from crashed global not dropped")
+	}
+	inj.Restart(Global)
+	if d := inj.Decide(cc, Global); d.Drop {
+		t.Error("RPC dropped after Restart")
+	}
+}
+
+func TestPartitionBlocksCrossClusterOnly(t *testing.T) {
+	inj := NewInjector(sim.NewRNG(1))
+	inj.PartitionClusters(topology.West, topology.East)
+	wp := ProxyTarget("svc", topology.West)
+	ep := ProxyTarget("svc", topology.East)
+	wc := ClusterTarget(topology.West)
+	ec := ClusterTarget(topology.East)
+	if d := inj.Decide(wp, ec); !d.Drop {
+		t.Error("west proxy -> east cc not dropped under partition")
+	}
+	if d := inj.Decide(ep, wc); !d.Drop {
+		t.Error("east proxy -> west cc not dropped under partition")
+	}
+	if d := inj.Decide(wp, wc); d.Drop {
+		t.Error("intra-cluster RPC dropped under partition")
+	}
+	// The global controller lives outside every cluster: reachable.
+	if d := inj.Decide(wc, Global); d.Drop {
+		t.Error("cluster -> global dropped by a west/east partition")
+	}
+	inj.HealClusters(topology.East, topology.West) // order-insensitive
+	if d := inj.Decide(wp, ec); d.Drop {
+		t.Error("RPC dropped after HealClusters")
+	}
+}
+
+// TestDecideDeterministic: the same seed must replay the identical
+// decision sequence on an edge, and interleaving draws on another edge
+// must not perturb it (per-edge derived streams).
+func TestDecideDeterministic(t *testing.T) {
+	run := func(interleave bool) []Decision {
+		inj := NewInjector(sim.NewRNG(42))
+		inj.AddRule(Rule{Drop: 0.3, Fail: 0.2, Delay: 10 * time.Millisecond, Jitter: 0.5})
+		a, b := ClusterTarget("west"), Global
+		other := ClusterTarget("east")
+		var out []Decision
+		for k := 0; k < 200; k++ {
+			if interleave {
+				inj.Decide(other, Global)
+			}
+			out = append(out, inj.Decide(a, b))
+		}
+		return out
+	}
+	base := run(false)
+	inter := run(true)
+	var drops, fails int
+	for k := range base {
+		if base[k] != inter[k] {
+			t.Fatalf("decision %d differs with interleaved edge: %+v vs %+v", k, base[k], inter[k])
+		}
+		if base[k].Drop {
+			drops++
+		}
+		if base[k].Fail {
+			fails++
+		}
+	}
+	// Sanity: the probabilistic rule actually fires at roughly its rate.
+	if drops < 30 || drops > 90 {
+		t.Errorf("drops = %d over 200 draws at p=0.3", drops)
+	}
+	if fails < 15 || fails > 70 {
+		t.Errorf("fails = %d over 200 draws at p=0.2", fails)
+	}
+}
+
+func TestRuleMatchingAndClear(t *testing.T) {
+	inj := NewInjector(sim.NewRNG(7))
+	inj.AddRule(Rule{From: ClusterTarget("west"), To: Global, Drop: 1})
+	if d := inj.Decide(ClusterTarget("west"), Global); !d.Drop {
+		t.Error("matching rule did not fire")
+	}
+	if d := inj.Decide(ClusterTarget("east"), Global); d.Drop {
+		t.Error("non-matching From fired")
+	}
+	inj.ClearRules()
+	if d := inj.Decide(ClusterTarget("west"), Global); d.Drop {
+		t.Error("rule fired after ClearRules")
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	inj := NewInjector(sim.NewRNG(3))
+	const base = 100 * time.Millisecond
+	inj.AddRule(Rule{Delay: base, Jitter: 0.5})
+	for k := 0; k < 100; k++ {
+		d := inj.Decide(ClusterTarget("west"), Global)
+		if d.Delay < base/2 || d.Delay > 3*base/2 {
+			t.Fatalf("delay %v outside [%v, %v]", d.Delay, base/2, 3*base/2)
+		}
+	}
+}
+
+func TestScheduleQueries(t *testing.T) {
+	s := NewSchedule().
+		Outage(Global, 10*time.Second, 20*time.Second).
+		Partition(topology.West, topology.East, 15*time.Second, 10*time.Second).
+		Flap(Global, 40*time.Second, 3, time.Second, time.Second)
+
+	if s.DownAt(Global, 9*time.Second) {
+		t.Error("down before outage start")
+	}
+	if !s.DownAt(Global, 10*time.Second) {
+		t.Error("not down at outage start (inclusive)")
+	}
+	if s.DownAt(Global, 30*time.Second) {
+		t.Error("down at outage end (exclusive)")
+	}
+	if s.DownAt(ClusterTarget("west"), 15*time.Second) {
+		t.Error("outage leaked to another target")
+	}
+
+	if !s.PartitionedAt(topology.East, topology.West, 20*time.Second) {
+		t.Error("partition query not order-insensitive")
+	}
+	if s.PartitionedAt(topology.West, topology.West, 20*time.Second) {
+		t.Error("cluster partitioned from itself")
+	}
+
+	// Flap: down at 40s and 42s..43s, up at 41s..42s.
+	if !s.DownAt(Global, 40*time.Second+500*time.Millisecond) {
+		t.Error("not down in first flap window")
+	}
+	if s.DownAt(Global, 41*time.Second+500*time.Millisecond) {
+		t.Error("down between flap windows")
+	}
+	if !s.DownAt(Global, 42*time.Second+500*time.Millisecond) {
+		t.Error("not down in second flap window")
+	}
+
+	// Last flap window starts at 44s and lasts 1s.
+	if got := s.Horizon(); got != 45*time.Second {
+		t.Errorf("Horizon = %v, want 45s", got)
+	}
+
+	evs := s.Events()
+	for k := 1; k < len(evs); k++ {
+		if evs[k].At < evs[k-1].At {
+			t.Fatal("Events not sorted by start")
+		}
+	}
+	bs := s.Boundaries()
+	for k := 1; k < len(bs); k++ {
+		if bs[k] <= bs[k-1] {
+			t.Fatal("Boundaries not strictly ascending")
+		}
+	}
+}
+
+func TestNilScheduleIsInert(t *testing.T) {
+	var s *Schedule
+	if s.DownAt(Global, 0) || s.PartitionedAt("a", "b", 0) {
+		t.Error("nil schedule reported a fault")
+	}
+	if s.Events() != nil || s.EventsAt(0) != nil || s.Boundaries() != nil {
+		t.Error("nil schedule returned events")
+	}
+	if s.Horizon() != 0 {
+		t.Error("nil schedule has a horizon")
+	}
+}
+
+func TestInjectorSyncReplaysSchedule(t *testing.T) {
+	s := NewSchedule().
+		Outage(Global, 10*time.Second, 10*time.Second).
+		Partition(topology.West, topology.East, 12*time.Second, 5*time.Second)
+	inj := NewInjector(sim.NewRNG(1))
+
+	inj.Sync(s, 15*time.Second)
+	if !inj.IsDown(Global) {
+		t.Error("global not down mid-outage after Sync")
+	}
+	if !inj.Partitioned(ProxyTarget("svc", topology.West), ClusterTarget(topology.East)) {
+		t.Error("partition not applied by Sync")
+	}
+
+	inj.Sync(s, 25*time.Second)
+	if inj.IsDown(Global) {
+		t.Error("global still down after outage window")
+	}
+	if inj.Partitioned(ProxyTarget("svc", topology.West), ClusterTarget(topology.East)) {
+		t.Error("partition still applied after window")
+	}
+}

@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"sort"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// EventKind discriminates schedule events.
+type EventKind int
+
+const (
+	// OutageEvent takes one component down for a window.
+	OutageEvent EventKind = iota
+	// PartitionEvent cuts two clusters off from each other for a window.
+	PartitionEvent
+)
+
+// Event is one scheduled fault: active on [At, At+Dur).
+type Event struct {
+	Kind   EventKind
+	Target Target             // OutageEvent: the crashed component
+	A, B   topology.ClusterID // PartitionEvent: the cut cluster pair
+	At     time.Duration      // start, relative to scenario time zero
+	Dur    time.Duration      // window length
+}
+
+func (e Event) activeAt(now time.Duration) bool {
+	return now >= e.At && now < e.At+e.Dur
+}
+
+// Schedule is a declarative fault timeline on virtual time: the
+// discrete-event simulator queries it directly, and the emulation
+// replays it onto an Injector via Injector.Sync. A nil *Schedule is
+// valid and schedules nothing. Builder methods return the receiver for
+// chaining and are not safe for concurrent use with queries; build the
+// schedule fully before running.
+type Schedule struct {
+	events []Event
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// Outage schedules a component crash on [at, at+dur).
+func (s *Schedule) Outage(t Target, at, dur time.Duration) *Schedule {
+	s.events = append(s.events, Event{Kind: OutageEvent, Target: t, At: at, Dur: dur})
+	return s
+}
+
+// Partition schedules a cluster partition on [at, at+dur).
+func (s *Schedule) Partition(a, b topology.ClusterID, at, dur time.Duration) *Schedule {
+	s.events = append(s.events, Event{Kind: PartitionEvent, A: a, B: b, At: at, Dur: dur})
+	return s
+}
+
+// Flap schedules n short outages of t starting at `at`: each cycle is
+// down for `down`, then up for `up`. It models a crash-looping
+// controller.
+func (s *Schedule) Flap(t Target, at time.Duration, n int, down, up time.Duration) *Schedule {
+	for k := 0; k < n; k++ {
+		s.Outage(t, at+time.Duration(k)*(down+up), down)
+	}
+	return s
+}
+
+// DownAt reports whether target t is inside an outage window at now.
+func (s *Schedule) DownAt(t Target, now time.Duration) bool {
+	if s == nil {
+		return false
+	}
+	for _, ev := range s.events {
+		if ev.Kind == OutageEvent && ev.Target == t && ev.activeAt(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionedAt reports whether clusters a and b are cut off at now.
+func (s *Schedule) PartitionedAt(a, b topology.ClusterID, now time.Duration) bool {
+	if s == nil || a == b {
+		return false
+	}
+	p := orderedPair(a, b)
+	for _, ev := range s.events {
+		if ev.Kind == PartitionEvent && orderedPair(ev.A, ev.B) == p && ev.activeAt(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// EventsAt returns the events active at now.
+func (s *Schedule) EventsAt(now time.Duration) []Event {
+	if s == nil {
+		return nil
+	}
+	var out []Event
+	for _, ev := range s.events {
+		if ev.activeAt(now) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Events returns every scheduled event sorted by start time.
+func (s *Schedule) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	out := append([]Event(nil), s.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Horizon returns the end of the last scheduled window.
+func (s *Schedule) Horizon() time.Duration {
+	if s == nil {
+		return 0
+	}
+	var h time.Duration
+	for _, ev := range s.events {
+		if end := ev.At + ev.Dur; end > h {
+			h = end
+		}
+	}
+	return h
+}
+
+// Boundaries returns every distinct window edge (starts and ends)
+// sorted ascending — the instants at which fault state can change.
+// Replayers (the emulation) need only re-Sync at these times.
+func (s *Schedule) Boundaries() []time.Duration {
+	if s == nil {
+		return nil
+	}
+	seen := map[time.Duration]bool{}
+	var out []time.Duration
+	for _, ev := range s.events {
+		for _, t := range []time.Duration{ev.At, ev.At + ev.Dur} {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/sim"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTransportPassThrough(t *testing.T) {
+	srv := testServer(t)
+	inj := NewInjector(sim.NewRNG(1))
+	client := &http.Client{Transport: NewTransport(nil, inj, ClusterTarget("west"), Static(Global))}
+	req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, srv.URL, nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestTransportDropOnCrash(t *testing.T) {
+	srv := testServer(t)
+	inj := NewInjector(sim.NewRNG(1))
+	inj.Crash(Global)
+	client := &http.Client{Transport: NewTransport(nil, inj, ClusterTarget("west"), Static(Global))}
+	req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, srv.URL, nil)
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("RPC to crashed target succeeded")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("error %v does not wrap ErrInjected", err)
+	}
+}
+
+func TestTransportInjected503(t *testing.T) {
+	srv := testServer(t)
+	inj := NewInjector(sim.NewRNG(1))
+	inj.AddRule(Rule{Fail: 1})
+	client := &http.Client{Transport: NewTransport(nil, inj, ClusterTarget("west"), Static(Global))}
+	req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, srv.URL, nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Slate-Fault") != "injected" {
+		t.Error("injected 503 not marked")
+	}
+}
+
+func TestTransportDelayHonorsContext(t *testing.T) {
+	srv := testServer(t)
+	inj := NewInjector(sim.NewRNG(1))
+	inj.AddRule(Rule{Delay: 10 * time.Second})
+	client := &http.Client{Transport: NewTransport(nil, inj, ClusterTarget("west"), Static(Global))}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("delayed RPC completed despite context deadline")
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("cancellation took %v; injected delay ignored the context", el)
+	}
+}
+
+func TestHostMapResolution(t *testing.T) {
+	hm := NewHostMap()
+	hm.Register("http://10.0.0.4:7000", Global)
+	hm.Register("10.1.0.4:7101", ClusterTarget(topology.East))
+
+	mk := func(url string) *http.Request {
+		req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+	if got := hm.TargetOf(mk("http://10.0.0.4:7000/v1/metrics")); got != Global {
+		t.Errorf("TargetOf(global host) = %q", got)
+	}
+	if got := hm.TargetOf(mk("http://10.1.0.4:7101/v1/rules")); got != ClusterTarget(topology.East) {
+		t.Errorf("TargetOf(east host) = %q", got)
+	}
+	// Unregistered hosts fall back to the raw host (matches nothing).
+	if got := hm.TargetOf(mk("http://203.0.113.9:80/")); got != Target("203.0.113.9:80") {
+		t.Errorf("TargetOf(unknown host) = %q", got)
+	}
+}

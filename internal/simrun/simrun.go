@@ -18,6 +18,7 @@ import (
 
 	"github.com/servicelayernetworking/slate/internal/appgraph"
 	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/fault"
 	"github.com/servicelayernetworking/slate/internal/routing"
 	"github.com/servicelayernetworking/slate/internal/sim"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
@@ -61,6 +62,19 @@ type Scenario struct {
 	// every replica pool (paper §5 "interaction between request routing
 	// and autoscaler").
 	Autoscaler *AutoscalerConfig
+	// Faults, when non-nil, injects control-plane failures on virtual
+	// time: during a global-controller outage window the policy does not
+	// tick (rules go stale); during a cluster-controller outage that
+	// cluster receives no rule refreshes; a partition window fails every
+	// data-plane call crossing the cut cluster pair.
+	Faults *fault.Schedule
+	// RuleTTL is the proxies' rule-staleness bound: once a cluster has
+	// gone longer than RuleTTL without a rule refresh, its outbound calls
+	// degrade to local-biased routing until the control plane answers
+	// again (the hardened dataplane). Zero means rules never expire —
+	// the unhardened baseline keeps following stale remote-routing rules
+	// through an outage.
+	RuleTTL time.Duration
 }
 
 // Validate checks the scenario.
@@ -134,6 +148,16 @@ type Result struct {
 	// rate observed in that window — how the system behaves over time,
 	// e.g. through a load burst.
 	Timeline []TimelinePoint
+	// Failed counts post-warmup requests that failed (a hop crossed a
+	// partitioned cluster pair); Availability = Completed / (Completed +
+	// Failed), 1 when nothing failed.
+	Failed       uint64
+	Availability float64
+	// MissedTicks counts control rounds skipped because the global
+	// controller was down; DegradedCalls counts routing decisions that
+	// fell back to local-biased routing because rules exceeded RuleTTL.
+	MissedTicks   int
+	DegradedCalls uint64
 	// ScaleEvents lists effective autoscaler actions (when enabled).
 	ScaleEvents []ScaleEvent
 	// FinalReplicas reports each pool's replica count at the end of the
@@ -248,13 +272,14 @@ func Run(scn Scenario, pol Policy) (*Result, error) {
 	root := sim.NewRNG(scn.Seed)
 
 	r := &runner{
-		k:       k,
-		scn:     scn,
-		table:   table,
-		pol:     pol,
-		pools:   make(map[core.PoolKey]*pool),
-		aggs:    make(map[topology.ClusterID]*telemetry.Aggregator),
-		pickRNG: root.DeriveNamed("routing-picks"),
+		k:         k,
+		scn:       scn,
+		table:     table,
+		pol:       pol,
+		pools:     make(map[core.PoolKey]*pool),
+		aggs:      make(map[topology.ClusterID]*telemetry.Aggregator),
+		pickRNG:   root.DeriveNamed("routing-picks"),
+		lastFresh: make(map[topology.ClusterID]sim.Time),
 		res: &Result{
 			Scenario:       scn.Name,
 			Policy:         pol.Name(),
@@ -323,18 +348,31 @@ func Run(scn Scenario, pol Policy) (*Result, error) {
 	if scn.ControlPeriod > 0 {
 		var tick func(*sim.Kernel)
 		tick = func(k *sim.Kernel) {
+			now := k.Now()
 			var groups [][]telemetry.WindowStats
 			for _, c := range scn.Top.ClusterIDs() {
 				groups = append(groups, r.aggs[c].Flush(scn.ControlPeriod))
 			}
 			merged := telemetry.Merge(groups...)
-			r.recordTimeline(k.Now().Duration(), merged, scn.ControlPeriod)
-			if tab, err := r.pol.Tick(merged, scn.ControlPeriod); err != nil {
-				r.res.PolicyErrors++
-			} else if tab != nil {
-				r.table = tab
+			r.recordTimeline(now.Duration(), merged, scn.ControlPeriod)
+			if scn.Faults.DownAt(fault.Global, now.Duration()) {
+				// The global controller is down: no optimization, no rule
+				// push — every cluster's rules age toward RuleTTL.
+				r.res.MissedTicks++
+			} else {
+				if tab, err := r.pol.Tick(merged, scn.ControlPeriod); err != nil {
+					r.res.PolicyErrors++
+				} else if tab != nil {
+					r.table = tab
+				}
+				// Rule pushes reach every cluster whose controller is up.
+				for _, c := range scn.Top.ClusterIDs() {
+					if !scn.Faults.DownAt(fault.ClusterTarget(c), now.Duration()) {
+						r.lastFresh[c] = now
+					}
+				}
 			}
-			if k.Now().Duration()+scn.ControlPeriod < scn.Duration {
+			if now.Duration()+scn.ControlPeriod < scn.Duration {
 				k.After(scn.ControlPeriod, tick)
 			}
 		}
@@ -377,13 +415,27 @@ type runner struct {
 	pickRNG *sim.RNG
 	res     *Result
 
+	// lastFresh records, per cluster, the virtual time rules last
+	// reached that cluster's proxies; see degradedAt.
+	lastFresh map[topology.ClusterID]sim.Time
+
 	remoteCalls, totalCalls uint64
 	localServed             map[topology.ClusterID]uint64
+}
+
+// degradedAt reports whether cluster c's proxies have passed the rule
+// staleness TTL at now and must degrade to local-biased routing.
+func (r *runner) degradedAt(c topology.ClusterID, now sim.Time) bool {
+	if r.scn.RuleTTL <= 0 {
+		return false
+	}
+	return (now - r.lastFresh[c]).Duration() > r.scn.RuleTTL
 }
 
 // reqCtx carries per-request state through the call tree.
 type reqCtx struct {
 	crossed bool // any hop of this request went cross-cluster
+	failed  bool // a hop hit a partitioned cluster pair
 }
 
 // startRequest launches one root request of class at cluster.
@@ -393,6 +445,10 @@ func (r *runner) startRequest(k *sim.Kernel, class *appgraph.Class, arrival topo
 	ctx := &reqCtx{}
 	r.executeNode(k, ctx, class, class.Root, arrival, arrival, afterWarmup, func(k *sim.Kernel) {
 		if !afterWarmup {
+			return
+		}
+		if ctx.failed {
+			r.res.Failed++
 			return
 		}
 		lat := (k.Now() - start).Duration()
@@ -422,7 +478,17 @@ func (r *runner) executeNode(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, 
 	if node == class.Root {
 		dst = pinned // roots execute at the arrival cluster
 	} else {
-		d := r.table.Lookup(string(node.Service), class.Name, src)
+		var d routing.Distribution
+		if r.degradedAt(src, k.Now()) {
+			// Rules are past the staleness TTL: the hardened proxy stops
+			// trusting them and biases local (DESIGN.md degradation
+			// ladder). The pick draw is still consumed so fault-free
+			// prefixes of hardened/unhardened runs stay aligned.
+			r.res.DegradedCalls++
+			d = routing.Local(src)
+		} else {
+			d = r.table.Lookup(string(node.Service), class.Name, src)
+		}
 		dst = d.Pick(r.pickRNG.Float64())
 		if dst == "" || !r.scn.App.Services[node.Service].PlacedIn(dst) {
 			// Misconfigured rule (e.g. table routes to a cluster without
@@ -435,6 +501,14 @@ func (r *runner) executeNode(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, 
 	if remote {
 		r.remoteCalls++
 		ctx.crossed = true
+	}
+	if remote && r.scn.Faults.PartitionedAt(src, dst, k.Now().Duration()) {
+		// The inter-cluster link is cut: the call fast-fails after the
+		// one-way probe and the whole request counts as failed. The
+		// subtree never executes — exactly what a connection error does.
+		ctx.failed = true
+		k.After(r.scn.Top.OneWay(src, dst), done)
+		return
 	}
 
 	netOut := time.Duration(0)
@@ -596,6 +670,10 @@ func (r *runner) finalize() {
 	}
 	if r.totalCalls > 0 {
 		res.RemoteFraction = float64(r.remoteCalls) / float64(r.totalCalls)
+	}
+	res.Availability = 1
+	if res.Completed+res.Failed > 0 {
+		res.Availability = float64(res.Completed) / float64(res.Completed+res.Failed)
 	}
 	if res.MeasuredWindow > 0 {
 		for c, n := range r.localServed {

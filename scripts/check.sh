@@ -1,43 +1,105 @@
 #!/usr/bin/env bash
 # check.sh — the expanded tier-1 gate for the SLATE repo.
 #
-# Runs, in order:
-#   1. gofmt -l         (formatting drift)
-#   2. go vet ./...     (stdlib static checks)
-#   3. slate-lint ./... (SLATE-specific analyzers: lockguard, floatcmp,
-#                        detrand, ctxprop — see internal/analysis)
-#   4. go test -race ./... (full suite under the race detector)
+# Runs, in order (each step timed):
+#   1. gofmt -l           (formatting drift)
+#   2. go vet ./...       (stdlib static checks)
+#   3. slate-lint ./...   (SLATE-specific analyzers: lockguard, floatcmp,
+#                          detrand, ctxprop — see internal/analysis)
+#   4. go test -race -coverprofile ./...  (full suite under the race
+#                          detector, with per-package coverage)
+#   5. coverage gate      (total statement coverage >= COVER_THRESHOLD)
 #
-# Any failure aborts the run with a non-zero exit. Usage:
-#   ./scripts/check.sh          # everything, from the repo root
-#   SKIP_RACE=1 ./scripts/check.sh   # quick mode: plain `go test` instead
+# Usage:
+#   ./scripts/check.sh                 # everything, from the repo root
+#   SKIP_RACE=1 ./scripts/check.sh     # quick mode: plain `go test`
+#   FAIL_FAST=1 ./scripts/check.sh     # abort at the first failing step
+#   COVER_THRESHOLD=75 ./scripts/check.sh
+#
+# Defaults to collecting every failure before exiting non-zero, so one
+# run reports all problems; CI sets FAIL_FAST=1 for faster signal.
+# When $CI is set, -count=1 is forced so cached test results are never
+# trusted on a fresh runner.
 
 set -u
 
 cd "$(dirname "$0")/.."
 
-fail=0
+# Total statement coverage was 80.9% when this gate was introduced
+# (seed value; go1.24, all packages). The threshold is deliberately
+# modest — it catches coverage collapse, not ordinary drift.
+COVER_THRESHOLD=${COVER_THRESHOLD:-70}
+COVER_PROFILE=${COVER_PROFILE:-coverage.out}
 
-echo "==> gofmt"
+if [ -n "${CI:-}" ]; then
+    export GOFLAGS="${GOFLAGS:+$GOFLAGS }-count=1"
+fi
+
+fail=0
+step_started=0
+step_name=""
+
+begin() {
+    step_name="$1"
+    step_started=$(date +%s)
+    echo "==> $step_name"
+}
+
+finish() { # $1 = exit status of the step
+    local dur=$(( $(date +%s) - step_started ))
+    if [ "$1" -ne 0 ]; then
+        echo "--- ${step_name}: FAILED (${dur}s)" >&2
+        fail=1
+        if [ "${FAIL_FAST:-}" = "1" ]; then
+            echo "check.sh: FAILED (fail-fast)" >&2
+            exit 1
+        fi
+    else
+        echo "--- ${step_name}: ok (${dur}s)"
+    fi
+}
+
+begin "gofmt"
 unformatted=$(find . -name '*.go' -not -path './testdata/*' -not -path './.git/*' -exec gofmt -l {} +)
 if [ -n "$unformatted" ]; then
     echo "gofmt: the following files need formatting:" >&2
     echo "$unformatted" >&2
-    fail=1
+    finish 1
+else
+    finish 0
 fi
 
-echo "==> go vet ./..."
-go vet ./... || fail=1
+begin "go vet ./..."
+go vet ./...
+finish $?
 
-echo "==> slate-lint ./..."
-go run ./cmd/slate-lint ./... || fail=1
+begin "slate-lint ./..."
+go run ./cmd/slate-lint ./...
+finish $?
 
 if [ "${SKIP_RACE:-}" = "1" ]; then
-    echo "==> go test ./... (SKIP_RACE=1)"
-    go test ./... || fail=1
+    begin "go test -coverprofile ./... (SKIP_RACE=1)"
+    go test -coverprofile="$COVER_PROFILE" ./...
+    finish $?
 else
-    echo "==> go test -race ./..."
-    go test -race ./... || fail=1
+    begin "go test -race -coverprofile ./..."
+    go test -race -coverprofile="$COVER_PROFILE" ./...
+    finish $?
+fi
+
+begin "coverage >= ${COVER_THRESHOLD}%"
+if [ -f "$COVER_PROFILE" ]; then
+    total=$(go tool cover -func="$COVER_PROFILE" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+    echo "total statement coverage: ${total}%"
+    if awk -v t="$total" -v min="$COVER_THRESHOLD" 'BEGIN { exit !(t+0 >= min+0) }'; then
+        finish 0
+    else
+        echo "coverage ${total}% is below the ${COVER_THRESHOLD}% floor" >&2
+        finish 1
+    fi
+else
+    echo "no coverage profile at $COVER_PROFILE (test step failed?)" >&2
+    finish 1
 fi
 
 if [ "$fail" -ne 0 ]; then
