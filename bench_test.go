@@ -147,9 +147,12 @@ func BenchmarkChaos(b *testing.B) {
 
 // --- Micro-benchmarks of the hot paths -------------------------------
 
-// BenchmarkOptimizerSolve measures one full LP build+solve for the
-// GCP-scale problem — the global controller's per-period cost
-// ("scalability & fast reaction", paper §5).
+// BenchmarkOptimizerSolve measures the global controller's per-period
+// optimization cost for the GCP-scale problem ("scalability & fast
+// reaction", paper §5). The cold sub-benchmark rebuilds and solves the
+// LP from scratch every iteration (the stateless Problem path); warm is
+// the steady-state control loop — a cached formulation re-solved from
+// the previous tick's basis via the stateful Optimizer.
 func BenchmarkOptimizerSolve(b *testing.B) {
 	top := slate.GCPTopology()
 	app := slate.LinearChain(slate.ChainOptions{
@@ -161,16 +164,34 @@ func BenchmarkOptimizerSolve(b *testing.B) {
 	demand := slate.Demand{"default": {
 		slate.OR: 1000, slate.UT: 100, slate.IOW: 1000, slate.SC: 100,
 	}}
-	prob := &slate.Problem{
-		Top: top, App: app, Demand: demand,
-		Profiles: slate.DefaultProfiles(app, top, demand),
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := prob.Optimize(uint64(i + 1)); err != nil {
+	profs := slate.DefaultProfiles(app, top, demand)
+
+	b.Run("cold", func(b *testing.B) {
+		prob := &slate.Problem{Top: top, App: app, Demand: demand, Profiles: profs}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prob.Optimize(uint64(i + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		opt := slate.NewOptimizer(top, app, slate.OptimizerConfig{})
+		if _, err := opt.Optimize(demand, profs, 1); err != nil {
 			b.Fatal(err)
 		}
-	}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.Optimize(demand, profs, uint64(i+2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := opt.Stats()
+		if st.WarmSolves < uint64(b.N) {
+			b.Fatalf("warm solves = %d of %d iterations", st.WarmSolves, b.N)
+		}
+	})
 }
 
 // BenchmarkSimplexTransportation measures the raw LP solver on a dense

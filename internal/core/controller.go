@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/lp"
 	"github.com/servicelayernetworking/slate/internal/routing"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
 	"github.com/servicelayernetworking/slate/internal/topology"
@@ -50,6 +52,7 @@ type Controller struct {
 	profs   Profiles
 	history *SampleHistory
 	demand  Demand
+	opt     *Optimizer
 
 	cur     *routing.Table
 	prev    *routing.Table
@@ -59,6 +62,7 @@ type Controller struct {
 	haveLastObj     bool
 	holdAfterRevert bool
 	reverts         uint64
+	iterLimitHolds  uint64
 }
 
 // NewController returns a controller with initial profiles derived from
@@ -80,6 +84,7 @@ func NewController(top *topology.Topology, app *appgraph.App, cfg ControllerConf
 		profs:   DefaultProfiles(app, top, Demand{}),
 		history: NewSampleHistory(0),
 		demand:  Demand{},
+		opt:     NewOptimizer(top, app, cfg.Optimizer),
 		cur:     routing.EmptyTable(),
 	}, nil
 }
@@ -95,6 +100,14 @@ func (c *Controller) Profiles() Profiles { return c.profs }
 
 // Reverts reports how many times the regression guardrail fired.
 func (c *Controller) Reverts() uint64 { return c.reverts }
+
+// IterLimitHolds reports how many ticks kept the previous table because
+// the solver hit its iteration limit (transient; retried next tick).
+func (c *Controller) IterLimitHolds() uint64 { return c.iterLimitHolds }
+
+// OptimizerStats reports the controller's cumulative solve counters
+// (formulation builds, warm vs cold solves).
+func (c *Controller) OptimizerStats() OptimizerStats { return c.opt.Stats() }
 
 // SetDemand seeds or overrides the demand estimate (useful for one-shot
 // optimization runs where telemetry has not accumulated yet).
@@ -112,8 +125,7 @@ func (c *Controller) Prime() (*routing.Table, error) {
 		return c.cur, nil
 	}
 	c.version++
-	prob := &Problem{Top: c.top, App: c.app, Demand: c.demand, Profiles: c.profs, Config: c.cfg.Optimizer}
-	plan, err := prob.Optimize(c.version)
+	plan, err := c.opt.Optimize(c.demand, c.profs, c.version)
 	if err != nil {
 		return c.cur, err
 	}
@@ -161,9 +173,17 @@ func (c *Controller) Tick(stats []telemetry.WindowStats, window time.Duration) (
 	}
 
 	c.version++
-	prob := &Problem{Top: c.top, App: c.app, Demand: c.demand, Profiles: c.profs, Config: c.cfg.Optimizer}
-	plan, err := prob.Optimize(c.version)
+	plan, err := c.opt.Optimize(c.demand, c.profs, c.version)
 	if err != nil {
+		if errors.Is(err, lp.ErrIterLimit) {
+			// The solver ran out of pivots (cycling on a degenerate
+			// instance). That is transient, not a policy failure: hold the
+			// current table and retry on the next window.
+			c.iterLimitHolds++
+			c.lastObjective = measured
+			c.haveLastObj = haveMeasured
+			return c.cur, nil
+		}
 		// Keep serving the current table; the caller decides whether to
 		// alert. Typical cause: measured demand transiently exceeds
 		// modeled capacity.

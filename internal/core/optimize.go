@@ -99,8 +99,62 @@ type nodeRef struct {
 	parent int
 }
 
+// srcDst indexes a flow variable by (caller cluster, executing cluster).
+type srcDst struct{ i, j int }
+
+// linkTerm remembers one flow variable's contribution to a pool's
+// loadlink constraint: the coefficient is the node's mean service time
+// over the pool's reference service time, and the latter may change when
+// profiles are refit, so Optimizer.update recomputes it per tick.
+type linkTerm struct {
+	v   lp.Var
+	mst float64 // node mean service time, seconds
+}
+
+// poolRef ties one service pool to its LP variables and constraints.
+type poolRef struct {
+	key       PoolKey
+	profile   PoolProfile
+	segs      []queuemodel.Segment
+	segVars   []lp.Var
+	loadVar   lp.Var
+	linkCon   int // loadlink constraint index in the model
+	linkTerms []linkTerm
+}
+
+// demandRef ties one (root class, arrival cluster) to its demand
+// constraint; con is -1 where the frontend is not placed (demand there
+// must stay zero).
+type demandRef struct {
+	class string
+	svc   appgraph.ServiceID
+	ci    topology.ClusterID
+	con   int
+}
+
+// formulation is a built routing LP plus the metadata needed to mutate
+// it in place for a new tick (demand right-hand sides, PWL segment
+// costs/widths, loadlink scale coefficients) instead of rebuilding —
+// the model's structure depends only on topology, app placement, and
+// config, none of which change between ticks.
+type formulation struct {
+	top      *topology.Topology
+	app      *appgraph.App
+	cfg      Config // normalized
+	clusters []topology.ClusterID
+	nodes    []nodeRef
+	flow     []map[srcDst]lp.Var
+	model    *lp.Model
+	pools    []*poolRef
+	poolIdx  map[PoolKey]*poolRef
+	demands  []demandRef
+	useMILP  bool
+}
+
 // Optimize builds and solves the routing LP and extracts routing rules.
-// version is stamped onto the produced table.
+// version is stamped onto the produced table. Each call formulates from
+// scratch; a control loop re-solving every tick should hold an Optimizer,
+// which caches the formulation and warm-starts the solver.
 func (p *Problem) Optimize(version uint64) (*Plan, error) {
 	cfg := p.Config.normalized()
 	if p.Top == nil || p.App == nil {
@@ -109,15 +163,44 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 	if err := p.App.Validate(p.Top); err != nil {
 		return nil, fmt.Errorf("core: invalid app: %w", err)
 	}
-	clusters := p.Top.ClusterIDs()
+	f, err := buildFormulation(p.Top, p.App, cfg, p.Demand, p.Profiles)
+	if err != nil {
+		return nil, err
+	}
+	var sol *lp.Solution
+	if f.useMILP {
+		sol, err = f.model.SolveMILP(nil)
+	} else {
+		sol, err = f.model.Solve()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: solving routing LP: %w", err)
+	}
+	if err := f.statusErr(sol); err != nil {
+		return nil, err
+	}
+	return f.extract(sol, p.Demand, version), nil
+}
+
+// buildFormulation constructs the routing LP. Demand and profiles seed
+// the mutable pieces (rhs, PWL costs, load scales); everything else is
+// structural.
+func buildFormulation(top *topology.Topology, app *appgraph.App, cfg Config, demand Demand, profiles Profiles) (*formulation, error) {
+	f := &formulation{
+		top:      top,
+		app:      app,
+		cfg:      cfg,
+		clusters: top.ClusterIDs(),
+		model:    lp.NewModel(),
+	}
+	clusters := f.clusters
 
 	// Flatten call trees.
-	var nodes []nodeRef
-	for _, cl := range p.App.Classes {
+	for _, cl := range app.Classes {
 		var visit func(n *appgraph.CallNode, parent int)
 		visit = func(n *appgraph.CallNode, parent int) {
-			idx := len(nodes)
-			nodes = append(nodes, nodeRef{class: cl, node: n, idx: idx, parent: parent})
+			idx := len(f.nodes)
+			f.nodes = append(f.nodes, nodeRef{class: cl, node: n, idx: idx, parent: parent})
 			for _, ch := range n.Children {
 				visit(ch, idx)
 			}
@@ -125,19 +208,18 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 		visit(cl.Root, -1)
 	}
 
-	model := lp.NewModel()
+	model := f.model
 
 	// Flow variables x[n][i][j]: rate of node-n calls whose caller ran in
 	// cluster i, executed in cluster j. Only for j where the service is
 	// placed. Root nodes are pinned to the arrival cluster (the user hits
 	// the local ingress; routing starts at the first internal hop).
-	type srcDst struct{ i, j int }
-	flow := make([]map[srcDst]lp.Var, len(nodes))
+	f.flow = make([]map[srcDst]lp.Var, len(f.nodes))
 	placedIn := func(s appgraph.ServiceID, c topology.ClusterID) bool {
-		return p.App.Services[s].PlacedIn(c)
+		return app.Services[s].PlacedIn(c)
 	}
-	for ni, nr := range nodes {
-		flow[ni] = make(map[srcDst]lp.Var)
+	for ni, nr := range f.nodes {
+		f.flow[ni] = make(map[srcDst]lp.Var)
 		for i, ci := range clusters {
 			if nr.parent == -1 {
 				// Root: executes where demand arrives; a single variable
@@ -145,7 +227,7 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 				// without the frontend; validated below.
 				if placedIn(nr.node.Service, ci) {
 					v := model.AddVar(fmt.Sprintf("x[%s#%d][%s->%s]", nr.class.Name, ni, ci, ci), 0)
-					flow[ni][srcDst{i, i}] = v
+					f.flow[ni][srcDst{i, i}] = v
 				}
 				continue
 			}
@@ -154,29 +236,31 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 					continue
 				}
 				v := model.AddVar(fmt.Sprintf("x[%s#%d][%s->%s]", nr.class.Name, ni, ci, cj), 0)
-				flow[ni][srcDst{i, j}] = v
+				f.flow[ni][srcDst{i, j}] = v
 			}
 		}
 	}
 
 	// Root demand constraints.
-	for ni, nr := range nodes {
+	for ni, nr := range f.nodes {
 		if nr.parent != -1 {
 			continue
 		}
 		for i, ci := range clusters {
-			d := p.Demand[nr.class.Name][ci]
+			d := demand[nr.class.Name][ci]
 			if d < 0 {
 				return nil, fmt.Errorf("core: negative demand for class %q in %s", nr.class.Name, ci)
 			}
-			v, ok := flow[ni][srcDst{i, i}]
+			v, ok := f.flow[ni][srcDst{i, i}]
 			if !ok {
 				if d > 0 {
 					return nil, fmt.Errorf("core: demand for class %q arrives in %s but frontend %q is not placed there",
 						nr.class.Name, ci, nr.node.Service)
 				}
+				f.demands = append(f.demands, demandRef{class: nr.class.Name, svc: nr.node.Service, ci: ci, con: -1})
 				continue
 			}
+			f.demands = append(f.demands, demandRef{class: nr.class.Name, svc: nr.node.Service, ci: ci, con: model.NumConstraints()})
 			model.MustConstraint(
 				fmt.Sprintf("demand[%s][%s]", nr.class.Name, ci),
 				[]lp.Term{{Var: v, Coef: 1}}, lp.EQ, d)
@@ -185,18 +269,18 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 
 	// Conservation: for each non-root node n with parent q, for each
 	// cluster j: sum_dst x[n][j][dst] = Count_n * sum_i x[q][i][j].
-	for ni, nr := range nodes {
+	for ni, nr := range f.nodes {
 		if nr.parent == -1 {
 			continue
 		}
 		for j := range clusters {
 			var terms []lp.Term
-			for sd, v := range flow[ni] {
+			for sd, v := range f.flow[ni] {
 				if sd.i == j {
 					terms = append(terms, lp.Term{Var: v, Coef: 1})
 				}
 			}
-			for sd, v := range flow[nr.parent] {
+			for sd, v := range f.flow[nr.parent] {
 				if sd.j == j {
 					terms = append(terms, lp.Term{Var: v, Coef: -float64(nr.node.Count)})
 				}
@@ -211,19 +295,11 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 	}
 
 	// Pool load linking and PWL delay segments.
-	type poolRef struct {
-		key     PoolKey
-		profile PoolProfile
-		segs    []queuemodel.Segment
-		segVars []lp.Var
-		loadVar lp.Var
-	}
-	var pools []*poolRef
-	poolIndex := make(map[PoolKey]*poolRef)
-	for sid, svc := range p.App.Services {
-		for _, c := range svc.Clusters(p.Top) {
+	f.poolIdx = make(map[PoolKey]*poolRef)
+	for sid, svc := range app.Services {
+		for _, c := range svc.Clusters(top) {
 			key := PoolKey{Service: sid, Cluster: c}
-			prof, ok := p.Profiles.Get(sid, c)
+			prof, ok := profiles.Get(sid, c)
 			if !ok {
 				return nil, fmt.Errorf("core: no latency profile for pool %s", key)
 			}
@@ -238,26 +314,29 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 				model.SetUpper(v, seg.Width)
 				pr.segVars = append(pr.segVars, v)
 			}
-			pools = append(pools, pr)
-			poolIndex[key] = pr
+			f.pools = append(f.pools, pr)
+			f.poolIdx[key] = pr
 		}
 	}
 	// load[s,j] = sum over nodes at s of flows into j, scaled to standard
 	// requests; and load = sum of segment vars.
 	loadTerms := make(map[PoolKey][]lp.Term)
-	for ni, nr := range nodes {
-		for sd, v := range flow[ni] {
+	for ni, nr := range f.nodes {
+		mst := nr.node.Work.MeanServiceTime.Seconds()
+		for sd, v := range f.flow[ni] {
 			key := PoolKey{Service: nr.node.Service, Cluster: clusters[sd.j]}
-			pr := poolIndex[key]
+			pr := f.poolIdx[key]
 			scale := 1.0
 			if pr.profile.RefServiceTime > 0 {
-				scale = nr.node.Work.MeanServiceTime.Seconds() / pr.profile.RefServiceTime.Seconds()
+				scale = mst / pr.profile.RefServiceTime.Seconds()
 			}
 			loadTerms[key] = append(loadTerms[key], lp.Term{Var: v, Coef: scale})
+			pr.linkTerms = append(pr.linkTerms, linkTerm{v: v, mst: mst})
 		}
 	}
-	for _, pr := range pools {
+	for _, pr := range f.pools {
 		terms := append([]lp.Term{{Var: pr.loadVar, Coef: -1}}, loadTerms[pr.key]...)
+		pr.linkCon = model.NumConstraints()
 		model.MustConstraint(fmt.Sprintf("loadlink[%s]", pr.key), terms, lp.EQ, 0)
 		segTerms := []lp.Term{{Var: pr.loadVar, Coef: -1}}
 		for _, v := range pr.segVars {
@@ -270,15 +349,15 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 	// egress cost, plus the class-specific service-time correction (the
 	// PWL delay prices all requests at the pool's reference service
 	// time; a class whose service time differs by Δτ adds Δτ per call).
-	for ni, nr := range nodes {
-		for sd, v := range flow[ni] {
+	for ni, nr := range f.nodes {
+		for sd, v := range f.flow[ni] {
 			ci, cj := clusters[sd.i], clusters[sd.j]
 			var obj float64
 			if ci != cj {
-				rtt := p.Top.RTT(ci, cj).Seconds()
+				rtt := top.RTT(ci, cj).Seconds()
 				obj += cfg.LatencyWeight * rtt
 				bytes := nr.node.Work.RequestBytes + nr.node.Work.ResponseBytes
-				obj += cfg.CostWeight * p.Top.EgressCost(ci, cj, bytes)
+				obj += cfg.CostWeight * top.EgressCost(ci, cj, bytes)
 			}
 			if obj != 0 { //slate:nolint floatcmp -- sparsity: only exactly-zero coefficients are skippable
 				model.SetObj(v, obj)
@@ -293,27 +372,26 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 	// All-or-nothing pinning: for pinned classes, add binary selector
 	// variables y[n,i,j] with x[n,i,j] <= M*y and sum_j y = 1, so every
 	// (node, source cluster) routes to exactly one destination.
-	useMILP := false
-	for ni, nr := range nodes {
+	for ni, nr := range f.nodes {
 		if nr.parent == -1 || !cfg.pinned(nr.class.Name) {
 			continue
 		}
 		// Upper bound on any single flow: total class demand times the
 		// node's cumulative call multiplier.
 		mult := 1.0
-		for cur := ni; nodes[cur].parent != -1; cur = nodes[cur].parent {
-			mult *= float64(nodes[cur].node.Count)
+		for cur := ni; f.nodes[cur].parent != -1; cur = f.nodes[cur].parent {
+			mult *= float64(f.nodes[cur].node.Count)
 		}
-		bigM := p.Demand.Total(nr.class.Name)*mult + 1
+		bigM := demand.Total(nr.class.Name)*mult + 1
 		bySrc := make(map[int][]srcDst)
-		for sd := range flow[ni] {
+		for sd := range f.flow[ni] {
 			bySrc[sd.i] = append(bySrc[sd.i], sd)
 		}
 		for i, sds := range bySrc {
 			if len(sds) < 2 {
 				continue // only one possible destination: nothing to pin
 			}
-			useMILP = true
+			f.useMILP = true
 			var sel []lp.Term
 			for _, sd := range sds {
 				y := model.AddVar(fmt.Sprintf("y[%s#%d][%s->%s]", nr.class.Name, ni, clusters[sd.i], clusters[sd.j]), 0)
@@ -321,7 +399,7 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 				model.SetInteger(y)
 				model.MustConstraint(
 					fmt.Sprintf("pin[%s#%d][%s->%s]", nr.class.Name, ni, clusters[sd.i], clusters[sd.j]),
-					[]lp.Term{{Var: flow[ni][sd], Coef: 1}, {Var: y, Coef: -bigM}}, lp.LE, 0)
+					[]lp.Term{{Var: f.flow[ni][sd], Coef: 1}, {Var: y, Coef: -bigM}}, lp.LE, 0)
 				sel = append(sel, lp.Term{Var: y, Coef: 1})
 			}
 			model.MustConstraint(
@@ -329,36 +407,36 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 				sel, lp.EQ, 1)
 		}
 	}
+	return f, nil
+}
 
-	var sol *lp.Solution
-	var err error
-	if useMILP {
-		sol, err = model.SolveMILP(nil)
-	} else {
-		sol, err = model.Solve()
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: solving routing LP: %w", err)
-	}
+// statusErr maps a non-optimal solve status to the caller-facing error.
+func (f *formulation) statusErr(sol *lp.Solution) error {
 	switch sol.Status {
 	case lp.Optimal:
+		return nil
 	case lp.Infeasible:
-		return nil, fmt.Errorf("core: routing LP infeasible: offered demand exceeds modeled capacity (utilization cap %.0f%%)",
-			lastFrac(cfg.BreakFracs)*100)
+		return fmt.Errorf("core: routing LP infeasible: offered demand exceeds modeled capacity (utilization cap %.0f%%)",
+			lastFrac(f.cfg.BreakFracs)*100)
 	default:
-		return nil, fmt.Errorf("core: routing LP %v", sol.Status)
+		return fmt.Errorf("core: routing LP %v", sol.Status)
 	}
+}
+
+// extract turns an optimal solution into a Plan.
+func (f *formulation) extract(sol *lp.Solution, demand Demand, version uint64) *Plan {
+	clusters := f.clusters
 
 	// Extract routing rules: for each (callee service, class, src
 	// cluster), weights proportional to solved flows. Root nodes are
 	// pinned and need no rule.
 	type ruleAgg map[topology.ClusterID]float64
 	ruleFlows := make(map[routing.Key]ruleAgg)
-	for ni, nr := range nodes {
+	for ni, nr := range f.nodes {
 		if nr.parent == -1 {
 			continue
 		}
-		for sd, v := range flow[ni] {
+		for sd, v := range f.flow[ni] {
 			x := sol.Value(v)
 			if x <= 1e-9 {
 				continue
@@ -393,7 +471,7 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 	// Planned pool loads and predicted sojourns (nonlinear model at the
 	// solved standard loads).
 	poolStd := make(map[PoolKey]float64)
-	for _, pr := range pools {
+	for _, pr := range f.pools {
 		std := sol.Value(pr.loadVar)
 		poolStd[pr.key] = std
 		capStd := pr.profile.Model.Capacity()
@@ -411,23 +489,23 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 	sortLoads(plan.Loads)
 
 	// Predicted per-class mean end-to-end latency and egress totals.
-	for _, cl := range p.App.Classes {
-		total := p.Demand.Total(cl.Name)
+	for _, cl := range f.app.Classes {
+		total := demand.Total(cl.Name)
 		if total <= 0 {
 			continue
 		}
 		var agg float64 // request-weighted latency sum (req-seconds/sec)
-		for ni, nr := range nodes {
+		for ni, nr := range f.nodes {
 			if nr.class != cl {
 				continue
 			}
-			for sd, v := range flow[ni] {
+			for sd, v := range f.flow[ni] {
 				x := sol.Value(v)
 				if x <= 0 {
 					continue
 				}
 				key := PoolKey{Service: nr.node.Service, Cluster: clusters[sd.j]}
-				pr := poolIndex[key]
+				pr := f.poolIdx[key]
 				soj := pr.profile.Model.SojournSeconds(poolStd[key])
 				if math.IsInf(soj, 1) {
 					soj = pr.profile.Model.SojournSeconds(0.999 * pr.profile.Model.Capacity())
@@ -439,15 +517,15 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 				}
 				lat := soj
 				if clusters[sd.i] != clusters[sd.j] {
-					lat += p.Top.RTT(clusters[sd.i], clusters[sd.j]).Seconds()
+					lat += f.top.RTT(clusters[sd.i], clusters[sd.j]).Seconds()
 				}
 				agg += x * lat
 			}
 		}
 		plan.PredictedMeanLatency[cl.Name] = time.Duration(agg / total * float64(time.Second))
 	}
-	for ni, nr := range nodes {
-		for sd, v := range flow[ni] {
+	for ni, nr := range f.nodes {
+		for sd, v := range f.flow[ni] {
 			if sd.i == sd.j {
 				continue
 			}
@@ -457,10 +535,10 @@ func (p *Problem) Optimize(version uint64) (*Plan, error) {
 			}
 			bytes := float64(nr.node.Work.RequestBytes + nr.node.Work.ResponseBytes)
 			plan.EgressBytesPerSecond += x * bytes
-			plan.EgressPerSecond += x * p.Top.EgressCost(clusters[sd.i], clusters[sd.j], int64(bytes))
+			plan.EgressPerSecond += x * f.top.EgressCost(clusters[sd.i], clusters[sd.j], int64(bytes))
 		}
 	}
-	return plan, nil
+	return plan
 }
 
 func lastFrac(fracs []float64) float64 {

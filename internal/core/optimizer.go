@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/lp"
+	"github.com/servicelayernetworking/slate/internal/queuemodel"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// Optimizer is the re-solving counterpart of Problem.Optimize for a
+// control loop: it caches the LP formulation across ticks (the model's
+// structure depends only on topology, placement, and config) and
+// mutates demand right-hand sides, PWL segment costs, and load scales in
+// place, then warm-starts the simplex from the previous tick's optimal
+// basis. At steady state a tick costs a handful of phase-2 pivots
+// instead of a full two-phase solve over a freshly built model.
+//
+// Classes listed in Config.PinClasses force the MILP path, whose big-M
+// constants depend on demand; the Optimizer then formulates from scratch
+// every call, exactly like Problem.Optimize.
+//
+// Not safe for concurrent use.
+type Optimizer struct {
+	top    *topology.Topology
+	app    *appgraph.App
+	cfg    Config // normalized
+	solver *lp.Solver
+	f      *formulation
+	basis  []int
+	stats  OptimizerStats
+}
+
+// OptimizerStats counts how the optimizer's solves were served.
+type OptimizerStats struct {
+	// Builds is the number of full formulation (re)builds.
+	Builds uint64
+	// WarmSolves counts solves that installed the previous basis and
+	// skipped phase 1.
+	WarmSolves uint64
+	// ColdSolves counts solves from scratch (first tick, basis gone
+	// stale, or MILP path).
+	ColdSolves uint64
+}
+
+// NewOptimizer returns an Optimizer for a fixed topology, app, and
+// config. Demand and profiles are supplied per call to Optimize.
+func NewOptimizer(top *topology.Topology, app *appgraph.App, cfg Config) *Optimizer {
+	return &Optimizer{top: top, app: app, cfg: cfg.normalized(), solver: lp.NewSolver()}
+}
+
+// Stats reports cumulative solve counters.
+func (o *Optimizer) Stats() OptimizerStats { return o.stats }
+
+// Optimize solves the routing problem for this tick's demand and
+// profiles, reusing the cached formulation and the previous optimal
+// basis when possible. version is stamped onto the produced table.
+func (o *Optimizer) Optimize(demand Demand, profiles Profiles, version uint64) (*Plan, error) {
+	if o.top == nil || o.app == nil {
+		return nil, fmt.Errorf("core: optimizer missing topology or app")
+	}
+	if len(o.cfg.PinClasses) > 0 {
+		o.stats.Builds++
+		o.stats.ColdSolves++
+		p := &Problem{Top: o.top, App: o.app, Demand: demand, Profiles: profiles, Config: o.cfg}
+		return p.Optimize(version)
+	}
+	if o.f == nil {
+		if err := o.build(demand, profiles); err != nil {
+			return nil, err
+		}
+	} else if err := o.f.update(demand, profiles); err != nil {
+		if !errors.Is(err, errStructureChanged) {
+			return nil, err
+		}
+		// E.g. the PWL segment count changed: rebuild and start cold.
+		if err := o.build(demand, profiles); err != nil {
+			return nil, err
+		}
+	}
+	sol, err := o.solver.SolveFrom(o.f.model, o.basis)
+	if err != nil {
+		return nil, fmt.Errorf("core: solving routing LP: %w", err)
+	}
+	if sol.Warm {
+		o.stats.WarmSolves++
+	} else {
+		o.stats.ColdSolves++
+	}
+	if sol.Status == lp.Optimal {
+		o.basis = sol.Basis
+	} else {
+		o.basis = nil
+	}
+	if err := o.f.statusErr(sol); err != nil {
+		return nil, err
+	}
+	return o.f.extract(sol, demand, version), nil
+}
+
+func (o *Optimizer) build(demand Demand, profiles Profiles) error {
+	if err := o.app.Validate(o.top); err != nil {
+		return fmt.Errorf("core: invalid app: %w", err)
+	}
+	f, err := buildFormulation(o.top, o.app, o.cfg, demand, profiles)
+	if err != nil {
+		return err
+	}
+	o.f = f
+	o.basis = nil
+	o.stats.Builds++
+	return nil
+}
+
+// errStructureChanged signals that an in-place update cannot represent
+// the new tick (the model's shape would differ) and the formulation must
+// be rebuilt.
+var errStructureChanged = errors.New("core: formulation structure changed")
+
+// update mutates the cached model for a new tick: demand right-hand
+// sides, PWL segment slopes/widths (profiles may have been refit), and
+// loadlink scale coefficients (reference service times may have moved).
+func (f *formulation) update(demand Demand, profiles Profiles) error {
+	for _, dr := range f.demands {
+		d := demand[dr.class][dr.ci]
+		if d < 0 {
+			return fmt.Errorf("core: negative demand for class %q in %s", dr.class, dr.ci)
+		}
+		if dr.con < 0 {
+			if d > 0 {
+				return fmt.Errorf("core: demand for class %q arrives in %s but frontend %q is not placed there",
+					dr.class, dr.ci, dr.svc)
+			}
+			continue
+		}
+		if err := f.model.SetRHS(dr.con, d); err != nil {
+			return err
+		}
+	}
+	for _, pr := range f.pools {
+		prof, ok := profiles.Get(pr.key.Service, pr.key.Cluster)
+		if !ok {
+			return fmt.Errorf("core: no latency profile for pool %s", pr.key)
+		}
+		refChanged := prof.RefServiceTime != pr.profile.RefServiceTime
+		segs, err := queuemodel.Linearize(prof.Model, f.cfg.BreakFracs)
+		if err != nil {
+			return fmt.Errorf("core: linearizing pool %s: %w", pr.key, err)
+		}
+		if len(segs) != len(pr.segVars) {
+			return errStructureChanged
+		}
+		pr.profile = prof
+		pr.segs = segs
+		for si, seg := range segs {
+			f.model.SetObj(pr.segVars[si], f.cfg.LatencyWeight*seg.Slope)
+			f.model.SetUpper(pr.segVars[si], seg.Width)
+		}
+		if refChanged {
+			for _, lt := range pr.linkTerms {
+				scale := 1.0
+				if prof.RefServiceTime > 0 {
+					scale = lt.mst / prof.RefServiceTime.Seconds()
+				}
+				if err := f.model.SetCoef(pr.linkCon, lt.v, scale); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -38,15 +38,24 @@ func AblationWaterfallThreshold(opt Options) (*Figure, error) {
 		Summary: map[string]float64{},
 	}
 	s := Series{Name: "waterfall", XLabel: "threshold fraction", YLabel: "mean latency (ms)"}
-	var slateMean float64
-	for _, frac := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0} {
-		cmp, err := runPair(scn, demand, core.ControllerConfig{}, frac)
+	fracs := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0}
+	cmps := make([]Comparison, len(fracs))
+	err := runConcurrently(len(fracs), func(i int) error {
+		cmp, err := runPair(scn, demand, core.ControllerConfig{}, fracs[i])
 		if err != nil {
-			return nil, fmt.Errorf("ablation frac=%v: %w", frac, err)
+			return fmt.Errorf("ablation frac=%v: %w", fracs[i], err)
 		}
+		cmps[i] = cmp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var slateMean float64
+	for i, frac := range fracs {
 		s.X = append(s.X, frac)
-		s.Y = append(s.Y, float64(cmp.Baseline.Mean)/1e6)
-		slateMean = float64(cmp.SLATE.Mean) / 1e6
+		s.Y = append(s.Y, float64(cmps[i].Baseline.Mean)/1e6)
+		slateMean = float64(cmps[i].SLATE.Mean) / 1e6
 	}
 	fig.Series = append(fig.Series, s,
 		Series{Name: "slate", XLabel: s.XLabel, YLabel: s.YLabel,
@@ -164,18 +173,25 @@ func AblationStepSize(opt Options) (*Figure, error) {
 		Summary: map[string]float64{},
 	}
 	s := Series{Name: "mean-latency", XLabel: "MaxStep", YLabel: "mean latency (ms)"}
-	for _, step := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
-		ctrl, err := core.NewController(top, app, core.ControllerConfig{MaxStep: step, DemandSmoothing: 0.7})
+	steps := []float64{0.05, 0.1, 0.25, 0.5, 1.0}
+	means := make([]float64, len(steps))
+	err := runConcurrently(len(steps), func(i int) error {
+		ctrl, err := core.NewController(top, app, core.ControllerConfig{MaxStep: steps[i], DemandSmoothing: 0.7})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := simrun.Run(scn, simrun.SLATE(ctrl, false))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s.X = append(s.X, step)
-		s.Y = append(s.Y, float64(res.Mean)/1e6)
+		means[i] = float64(res.Mean) / 1e6
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.X = append(s.X, steps...)
+	s.Y = append(s.Y, means...)
 	fig.Series = append(fig.Series, s)
 	return fig, nil
 }

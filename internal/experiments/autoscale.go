@@ -70,11 +70,52 @@ func AutoscalerInteraction(opt Options) (*Figure, error) {
 		Summary: map[string]float64{},
 	}
 
-	run := func(name string, scn simrun.Scenario, pol simrun.Policy) (*simrun.Result, error) {
+	// The three systems are independent runs (each owns its scenario
+	// value, controller, and simulation kernel); sweep them concurrently
+	// and assemble series/summaries in deterministic order.
+	//
+	// "Combined" note: SLATE's latency profiles assume fixed capacity;
+	// the autoscaler changing pool sizes under it is precisely the
+	// modeling gap §5 describes. LearnProfiles lets the controller
+	// re-fit as capacity moves.
+	names := []string{"autoscaler-only", "slate-only", "combined"}
+	results := make([]*simrun.Result, len(names))
+	err := runConcurrently(len(names), func(i int) error {
+		var scn simrun.Scenario
+		var pol simrun.Policy
+		switch names[i] {
+		case "autoscaler-only":
+			scn = mkScenario(true)
+			pol = simrun.Static("local", baseline.LocalOnly())
+		case "slate-only":
+			ctrl, err := core.NewController(top, chainApp(topology.West, topology.East),
+				core.ControllerConfig{DemandSmoothing: 0.7})
+			if err != nil {
+				return err
+			}
+			scn = mkScenario(false)
+			pol = simrun.SLATE(ctrl, false)
+		default:
+			ctrl, err := core.NewController(top, chainApp(topology.West, topology.East),
+				core.ControllerConfig{DemandSmoothing: 0.7, LearnProfiles: true})
+			if err != nil {
+				return err
+			}
+			scn = mkScenario(true)
+			pol = simrun.SLATE(ctrl, false)
+		}
 		res, err := simrun.Run(scn, pol)
 		if err != nil {
-			return nil, fmt.Errorf("autoscaler %s: %w", name, err)
+			return fmt.Errorf("autoscaler %s: %w", names[i], err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		res := results[i]
 		s := Series{Name: name, XLabel: "time (s)", YLabel: "mean latency (ms)"}
 		for _, p := range res.Timeline {
 			s.X = append(s.X, p.At.Seconds())
@@ -101,34 +142,6 @@ func AutoscalerInteraction(opt Options) (*Figure, error) {
 			}
 			fig.Summary[name+"_final_west_replicas"] = float64(westReplicas)
 		}
-		return res, nil
-	}
-
-	// Autoscaler only.
-	if _, err := run("autoscaler-only", mkScenario(true),
-		simrun.Static("local", baseline.LocalOnly())); err != nil {
-		return nil, err
-	}
-	// SLATE only.
-	slateCtrl, err := core.NewController(top, chainApp(topology.West, topology.East),
-		core.ControllerConfig{DemandSmoothing: 0.7})
-	if err != nil {
-		return nil, err
-	}
-	if _, err := run("slate-only", mkScenario(false), simrun.SLATE(slateCtrl, false)); err != nil {
-		return nil, err
-	}
-	// Combined. Note: SLATE's latency profiles assume fixed capacity;
-	// the autoscaler changing pool sizes under it is precisely the
-	// modeling gap §5 describes. LearnProfiles lets the controller
-	// re-fit as capacity moves.
-	combCtrl, err := core.NewController(top, chainApp(topology.West, topology.East),
-		core.ControllerConfig{DemandSmoothing: 0.7, LearnProfiles: true})
-	if err != nil {
-		return nil, err
-	}
-	if _, err := run("combined", mkScenario(true), simrun.SLATE(combCtrl, false)); err != nil {
-		return nil, err
 	}
 
 	if a, c := fig.Summary["autoscaler-only_final_west_replicas"], fig.Summary["combined_final_west_replicas"]; a > 0 && c > 0 {

@@ -54,11 +54,43 @@ func BurstReaction(opt Options) (*Figure, error) {
 		Summary: map[string]float64{},
 	}
 
-	run := func(name string, pol simrun.Policy) (*simrun.Result, error) {
+	// The three adaptive runs are independent (each controller starts
+	// from empty demand and owns its state); run them concurrently and
+	// assemble series/summaries in deterministic order.
+	names := []string{"slate", "waterfall", "local-only"}
+	results := make([]*simrun.Result, len(names))
+	err := runConcurrently(len(names), func(i int) error {
+		var pol simrun.Policy
+		switch names[i] {
+		case "slate":
+			ctrl, err := core.NewController(top, app, core.ControllerConfig{DemandSmoothing: 0.7})
+			if err != nil {
+				return err
+			}
+			pol = simrun.SLATE(ctrl, false)
+		case "waterfall":
+			caps := baseline.DefaultCapacities(app, top,
+				core.Demand{"default": {topology.West: base, topology.East: 100}}, waterfallFrac)
+			ctrl, err := baseline.NewController(top, app, caps)
+			if err != nil {
+				return err
+			}
+			pol = simrun.Waterfall(ctrl, false)
+		default:
+			pol = simrun.Static("local-only", baseline.LocalOnly())
+		}
 		res, err := simrun.Run(scn, pol)
 		if err != nil {
-			return nil, fmt.Errorf("burst %s: %w", name, err)
+			return fmt.Errorf("burst %s: %w", names[i], err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		res := results[i]
 		s := Series{Name: name, XLabel: "time (s)", YLabel: "mean latency (ms)"}
 		for _, p := range res.Timeline {
 			s.X = append(s.X, p.At.Seconds())
@@ -77,29 +109,6 @@ func BurstReaction(opt Options) (*Figure, error) {
 		if n > 0 {
 			fig.Summary[name+"_burst_mean_ms"] = sum / float64(n)
 		}
-		return res, nil
-	}
-
-	slateCtrl, err := core.NewController(top, app, core.ControllerConfig{DemandSmoothing: 0.7})
-	if err != nil {
-		return nil, err
-	}
-	if _, err := run("slate", simrun.SLATE(slateCtrl, false)); err != nil {
-		return nil, err
-	}
-
-	caps := baseline.DefaultCapacities(app, top,
-		core.Demand{"default": {topology.West: base, topology.East: 100}}, waterfallFrac)
-	wfCtrl, err := baseline.NewController(top, app, caps)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := run("waterfall", simrun.Waterfall(wfCtrl, false)); err != nil {
-		return nil, err
-	}
-
-	if _, err := run("local-only", simrun.Static("local-only", baseline.LocalOnly())); err != nil {
-		return nil, err
 	}
 
 	fig.Summary["localonly_over_slate_burst"] =

@@ -113,6 +113,10 @@ func Chaos(opt Options) (*Figure, error) {
 		return res, nil
 	}
 
+	// The two runs stay serial on purpose: both controllers fold
+	// telemetry into the same shared demand map (ControlPeriod > 0), so
+	// the second run's starting estimate depends on the first having
+	// finished — reordering would change the published metrics.
 	hard, err := run("hardened", chaosRuleTTL)
 	if err != nil {
 		return nil, err

@@ -115,26 +115,41 @@ func chainApp(clusters ...topology.ClusterID) *appgraph.App {
 }
 
 // runPair runs the scenario under primed SLATE and primed Waterfall
-// controllers and returns the comparison.
+// controllers — concurrently when GOMAXPROCS allows — and returns the
+// comparison. Each leg owns its controller and a private copy of the
+// demand map, so neither can observe the other's state.
 func runPair(scn simrun.Scenario, demand core.Demand, slateCfg core.ControllerConfig, thresholdFrac float64) (Comparison, error) {
-	sc, err := core.NewController(scn.Top, scn.App, slateCfg)
+	var slateRes, wfRes *simrun.Result
+	err := runConcurrently(2, func(i int) error {
+		if i == 0 {
+			sc, err := core.NewController(scn.Top, scn.App, slateCfg)
+			if err != nil {
+				return err
+			}
+			sc.SetDemand(copyDemand(demand))
+			res, err := simrun.Run(scn, simrun.SLATE(sc, true))
+			if err != nil {
+				return fmt.Errorf("slate run: %w", err)
+			}
+			slateRes = res
+			return nil
+		}
+		d := copyDemand(demand)
+		caps := baseline.DefaultCapacities(scn.App, scn.Top, d, thresholdFrac)
+		wc, err := baseline.NewController(scn.Top, scn.App, caps)
+		if err != nil {
+			return err
+		}
+		wc.SetDemand(d)
+		res, err := simrun.Run(scn, simrun.Waterfall(wc, true))
+		if err != nil {
+			return fmt.Errorf("waterfall run: %w", err)
+		}
+		wfRes = res
+		return nil
+	})
 	if err != nil {
 		return Comparison{}, err
-	}
-	sc.SetDemand(demand)
-	slateRes, err := simrun.Run(scn, simrun.SLATE(sc, true))
-	if err != nil {
-		return Comparison{}, fmt.Errorf("slate run: %w", err)
-	}
-	caps := baseline.DefaultCapacities(scn.App, scn.Top, demand, thresholdFrac)
-	wc, err := baseline.NewController(scn.Top, scn.App, caps)
-	if err != nil {
-		return Comparison{}, err
-	}
-	wc.SetDemand(demand)
-	wfRes, err := simrun.Run(scn, simrun.Waterfall(wc, true))
-	if err != nil {
-		return Comparison{}, fmt.Errorf("waterfall run: %w", err)
 	}
 	return compare(slateRes, wfRes), nil
 }

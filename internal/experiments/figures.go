@@ -109,35 +109,57 @@ func Fig4(opt Options) (*Figure, error) {
 		},
 		Summary: map[string]float64{},
 	}
-	for _, rtt := range []time.Duration{5 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond} {
+	rtts := []time.Duration{5 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond}
+	var loads []float64
+	for load := 100.0; load <= 1000; load += 50 {
+		loads = append(loads, load)
+	}
+	// Fine-grained PWL breakpoints give the threshold curve its
+	// resolution (the optimizer's kept-local load lands on a
+	// breakpoint of the linearized latency curve).
+	var fracs []float64
+	for f := 0.05; f < 0.951; f += 0.025 {
+		fracs = append(fracs, f)
+	}
+	// Every (rtt, load) grid cell is an independent one-shot solve;
+	// sweep them concurrently into indexed slots, then assemble the
+	// series in deterministic order.
+	kept := make([][]float64, len(rtts))
+	for i := range kept {
+		kept[i] = make([]float64, len(loads))
+	}
+	tops := make([]*topology.Topology, len(rtts))
+	apps := make([]*appgraph.App, len(rtts))
+	for i, rtt := range rtts {
+		tops[i] = topology.TwoClusters(rtt)
+		apps[i] = chainApp(topology.West, topology.East)
+	}
+	err := runConcurrently(len(rtts)*len(loads), func(i int) error {
+		ri, li := i/len(loads), i%len(loads)
+		load := loads[li]
+		demand := core.Demand{"default": {topology.West: load, topology.East: 100}}
+		prob := &core.Problem{
+			Top: tops[ri], App: apps[ri], Demand: demand,
+			Profiles: core.DefaultProfiles(apps[ri], tops[ri], demand),
+			Config:   core.Config{BreakFracs: fracs},
+		}
+		plan, err := prob.Optimize(1)
+		if err != nil {
+			return fmt.Errorf("fig4 rtt=%v load=%v: %w", rtts[ri], load, err)
+		}
+		kept[ri][li] = plan.Table.Lookup("svc-1", "default", topology.West).Weight(topology.West) * load
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rtt := range rtts {
 		s := Series{
 			Name:   fmt.Sprintf("rtt-%dms", rtt.Milliseconds()),
 			XLabel: "load on west cluster (req/sec)",
 			YLabel: "threshold (RPS kept local)",
-		}
-		top := topology.TwoClusters(rtt)
-		app := chainApp(topology.West, topology.East)
-		// Fine-grained PWL breakpoints give the threshold curve its
-		// resolution (the optimizer's kept-local load lands on a
-		// breakpoint of the linearized latency curve).
-		var fracs []float64
-		for f := 0.05; f < 0.951; f += 0.025 {
-			fracs = append(fracs, f)
-		}
-		for load := 100.0; load <= 1000; load += 50 {
-			demand := core.Demand{"default": {topology.West: load, topology.East: 100}}
-			prob := &core.Problem{
-				Top: top, App: app, Demand: demand,
-				Profiles: core.DefaultProfiles(app, top, demand),
-				Config:   core.Config{BreakFracs: fracs},
-			}
-			plan, err := prob.Optimize(1)
-			if err != nil {
-				return nil, fmt.Errorf("fig4 rtt=%v load=%v: %w", rtt, load, err)
-			}
-			kept := plan.Table.Lookup("svc-1", "default", topology.West).Weight(topology.West) * load
-			s.X = append(s.X, load)
-			s.Y = append(s.Y, kept)
+			X:      loads,
+			Y:      kept[ri],
 		}
 		fig.Series = append(fig.Series, s)
 		// Offload onset: the first load where kept < offered.
@@ -373,27 +395,33 @@ func Headline(opt Options) (*Figure, error) {
 		Title:   "Headline claims: max latency and egress improvements over Waterfall",
 		Summary: map[string]float64{},
 	}
-	var maxLat float64
-	run := func(id string, f func(Options) (*Figure, error)) error {
-		sub, err := f(opt)
+	// The four sub-figures are independent paired runs; sweep them
+	// concurrently, then fold the summaries in deterministic order.
+	entries := []struct {
+		id string
+		f  func(Options) (*Figure, error)
+	}{{"fig6a", Fig6a}, {"fig6b", Fig6b}, {"fig6c", Fig6c}, {"fig6d", Fig6d}}
+	subs := make([]*Figure, len(entries))
+	err := runConcurrently(len(entries), func(i int) error {
+		sub, err := entries[i].f(opt)
 		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+			return fmt.Errorf("%s: %w", entries[i].id, err)
 		}
+		subs[i] = sub
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var maxLat float64
+	for i, e := range entries {
+		sub := subs[i]
 		if r := sub.Summary["mean_latency_ratio_waterfall_over_slate"]; r > maxLat {
 			maxLat = r
 		}
-		fig.Summary["latency_ratio_"+id] = sub.Summary["mean_latency_ratio_waterfall_over_slate"]
-		if id == "fig6c" {
+		fig.Summary["latency_ratio_"+e.id] = sub.Summary["mean_latency_ratio_waterfall_over_slate"]
+		if e.id == "fig6c" {
 			fig.Summary["egress_ratio_fig6c"] = sub.Summary["egress_ratio_waterfall_over_slate"]
-		}
-		return nil
-	}
-	for _, e := range []struct {
-		id string
-		f  func(Options) (*Figure, error)
-	}{{"fig6a", Fig6a}, {"fig6b", Fig6b}, {"fig6c", Fig6c}, {"fig6d", Fig6d}} {
-		if err := run(e.id, e.f); err != nil {
-			return nil, err
 		}
 	}
 	fig.Summary["max_mean_latency_ratio"] = maxLat

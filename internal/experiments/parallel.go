@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// forEachConcurrent runs task(0), …, task(n-1) on up to `workers`
+// goroutines and returns the lowest-index error (nil if none). Tasks
+// must be independent: each scenario run owns its kernel and seeded RNG
+// streams, so results land in caller-indexed slots bit-identical to a
+// serial loop regardless of scheduling. With one worker (or one task)
+// it degenerates to a plain loop on the calling goroutine.
+func forEachConcurrent(n, workers int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runConcurrently is forEachConcurrent bounded by GOMAXPROCS — the
+// harness-wide knob for scenario sweeps.
+func runConcurrently(n int, task func(i int) error) error {
+	return forEachConcurrent(n, runtime.GOMAXPROCS(0), task)
+}
+
+// copyDemand deep-copies a demand map so concurrent runs can never
+// observe each other's controller-side EWMA updates (Controller.Tick
+// folds telemetry into its demand map in place).
+func copyDemand(d core.Demand) core.Demand {
+	out := make(core.Demand, len(d))
+	for class, per := range d {
+		cp := make(map[topology.ClusterID]float64, len(per))
+		for c, v := range per {
+			cp[c] = v
+		}
+		out[class] = cp
+	}
+	return out
+}

@@ -7,14 +7,17 @@
 // Program"). With convex piecewise-linear latency costs the continuous
 // relaxation is exact, so the hot path is pure LP; branch-and-bound
 // covers integral extensions such as all-or-nothing class pinning. The
-// solver is deliberately dense and simple: SLATE's per-application
-// models have hundreds of variables, far below the scale where sparse
-// revised simplex or interior point methods pay off.
+// solver stays a simple tableau simplex — SLATE's per-application models
+// have hundreds of variables, far below the scale where revised simplex
+// or interior point methods pay off — but its pivots are sparsity-aware
+// and a reusable Solver supports scratch reuse and warm starts from the
+// previous tick's basis (see Solver.SolveFrom).
 package lp
 
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Var identifies a decision variable within a Model.
@@ -113,7 +116,6 @@ func (m *Model) AddConstraint(name string, terms []Term, rel Rel, rhs float64) e
 	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
 		return fmt.Errorf("lp: constraint %q has non-finite rhs %v", name, rhs)
 	}
-	merged := make(map[Var]float64, len(terms))
 	for _, t := range terms {
 		if int(t.Var) < 0 || int(t.Var) >= len(m.vars) {
 			return fmt.Errorf("lp: constraint %q references unknown variable %d", name, t.Var)
@@ -121,15 +123,26 @@ func (m *Model) AddConstraint(name string, terms []Term, rel Rel, rhs float64) e
 		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
 			return fmt.Errorf("lp: constraint %q has non-finite coefficient for %s", name, m.vars[t.Var].name)
 		}
-		merged[t.Var] += t.Coef
 	}
-	out := make([]Term, 0, len(merged))
-	for v := Var(0); int(v) < len(m.vars); v++ {
-		if c, ok := merged[v]; ok && c != 0 { //slate:nolint floatcmp -- sparsity: drop exactly-cancelled terms only
-			out = append(out, Term{Var: v, Coef: c})
+	// Sort a copy by variable and merge duplicate mentions, keeping terms
+	// in ascending Var order (SetCoef's binary search relies on this).
+	// Sorting len(terms) beats the old per-constraint scan over every
+	// model variable, which made model construction O(cons·vars).
+	out := make([]Term, len(terms))
+	copy(out, terms)
+	sort.Slice(out, func(i, j int) bool { return out[i].Var < out[j].Var })
+	k := 0
+	for i := 0; i < len(out); {
+		v, c := out[i].Var, out[i].Coef
+		for i++; i < len(out) && out[i].Var == v; i++ {
+			c += out[i].Coef
+		}
+		if c != 0 { //slate:nolint floatcmp -- sparsity: drop exactly-cancelled terms only
+			out[k] = Term{Var: v, Coef: c}
+			k++
 		}
 	}
-	m.cons = append(m.cons, constraint{name: name, terms: out, rel: rel, rhs: rhs})
+	m.cons = append(m.cons, constraint{name: name, terms: out[:k], rel: rel, rhs: rhs})
 	return nil
 }
 
@@ -171,6 +184,15 @@ type Solution struct {
 	// X holds the value of each variable, indexed by Var. Only valid
 	// when Status == Optimal.
 	X []float64
+	// Basis is the optimal simplex basis (one tableau column per
+	// constraint row, in solver-internal numbering). Hand it to
+	// Solver.SolveFrom to warm-start a nearby problem — typically the
+	// next control tick, after demand drifted. Only valid when
+	// Status == Optimal.
+	Basis []int
+	// Warm reports whether this solve installed a warm-started basis and
+	// skipped phase 1 (see Solver.SolveFrom).
+	Warm bool
 }
 
 // Value returns the solved value of v.

@@ -1,0 +1,176 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Solver runs the simplex with reusable scratch buffers: the tableau is
+// carved out of one flat backing array that persists across solves, so a
+// control loop re-solving every tick performs no per-solve tableau
+// allocation once the scratch has grown to the problem's size. A Solver
+// may be reused across models of different shapes (scratch tracks the
+// high-water mark) but is not safe for concurrent use; create one Solver
+// per goroutine.
+type Solver struct {
+	flat  []float64   // tableau backing array
+	rowp  [][]float64 // row views into flat
+	basis []int
+	seen  []bool // warm-start basis validation scratch (per column)
+	done  []bool // warm-start row-installed scratch (per row)
+	nz    []int  // pivot-row nonzero column indices scratch
+}
+
+// NewSolver returns a Solver with empty scratch.
+func NewSolver() *Solver { return &Solver{} }
+
+// Solve minimizes the model from a cold start (phase 1 to find a
+// feasible vertex, then phase 2). The returned Solution records the
+// optimal basis, which a later call can hand to SolveFrom to warm-start
+// a nearby problem.
+func (s *Solver) Solve(m *Model) (*Solution, error) {
+	t, err := s.newTableau(m)
+	if err != nil {
+		return nil, err
+	}
+	return t.solve(m)
+}
+
+// SolveFrom minimizes the model starting from a previously optimal
+// basis (as recorded in Solution.Basis). When the basis still fits the
+// model's shape and remains primal-feasible under the current
+// right-hand side — the steady-state case for a control loop whose
+// demand drifts between ticks — phase 1 is skipped entirely and phase 2
+// re-optimizes in a handful of pivots. Otherwise SolveFrom transparently
+// falls back to a cold Solve; the only error callers see beyond Solve's
+// is ErrIterLimit, and only when both the warm and cold paths exceed the
+// pivot budget.
+//
+// A nil or empty basis is an explicit cold start.
+func (s *Solver) SolveFrom(m *Model, basis []int) (*Solution, error) {
+	if len(basis) == 0 {
+		return s.Solve(m)
+	}
+	t, err := s.newTableau(m)
+	if err != nil {
+		return nil, err
+	}
+	if t.warmStart(basis) {
+		sol, err := t.finishPhase2(m)
+		if err == nil {
+			sol.Warm = true
+			return sol, nil
+		}
+		if !errors.Is(err, ErrIterLimit) {
+			return nil, err
+		}
+		// Warm pivots exhausted the budget (cycling from a bad start);
+		// the cold path may still converge.
+	}
+	t, err = s.newTableau(m)
+	if err != nil {
+		return nil, err
+	}
+	return t.solve(m)
+}
+
+// growTableau returns rows zeroed row views of width elements each,
+// backed by the solver's flat scratch.
+func (s *Solver) growTableau(rows, width int) [][]float64 {
+	need := rows * width
+	if cap(s.flat) < need {
+		s.flat = make([]float64, need)
+	} else {
+		s.flat = s.flat[:need]
+		clear(s.flat)
+	}
+	if cap(s.rowp) < rows {
+		s.rowp = make([][]float64, rows)
+	}
+	s.rowp = s.rowp[:rows]
+	for i := range s.rowp {
+		s.rowp[i] = s.flat[i*width : (i+1)*width : (i+1)*width]
+	}
+	if cap(s.nz) < width {
+		s.nz = make([]int, 0, width)
+	}
+	return s.rowp
+}
+
+// growBasis returns a basis slice of length rows; every entry is
+// assigned during tableau construction, so no clearing is needed.
+func (s *Solver) growBasis(rows int) []int {
+	if cap(s.basis) < rows {
+		s.basis = make([]int, rows)
+	}
+	s.basis = s.basis[:rows]
+	return s.basis
+}
+
+// growSeen returns a zeroed bool slice of length cols.
+func (s *Solver) growSeen(cols int) []bool {
+	if cap(s.seen) < cols {
+		s.seen = make([]bool, cols)
+	} else {
+		s.seen = s.seen[:cols]
+		clear(s.seen)
+	}
+	return s.seen
+}
+
+// growDone returns a zeroed bool slice of length rows.
+func (s *Solver) growDone(rows int) []bool {
+	if cap(s.done) < rows {
+		s.done = make([]bool, rows)
+	} else {
+		s.done = s.done[:rows]
+		clear(s.done)
+	}
+	return s.done
+}
+
+// SetRHS replaces the right-hand side of constraint i (in AddConstraint
+// order). Together with SetCoef and SetObj this lets a control loop
+// mutate a cached model between ticks instead of rebuilding it.
+func (m *Model) SetRHS(i int, rhs float64) error {
+	if i < 0 || i >= len(m.cons) {
+		return fmt.Errorf("lp: SetRHS: constraint index %d out of range [0,%d)", i, len(m.cons))
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: SetRHS: constraint %q given non-finite rhs %v", m.cons[i].name, rhs)
+	}
+	m.cons[i].rhs = rhs
+	return nil
+}
+
+// SetCoef replaces variable v's coefficient in constraint i (in
+// AddConstraint order). Setting a coefficient the constraint does not
+// yet mention inserts a term; setting an absent coefficient to zero is a
+// no-op.
+func (m *Model) SetCoef(i int, v Var, coef float64) error {
+	if i < 0 || i >= len(m.cons) {
+		return fmt.Errorf("lp: SetCoef: constraint index %d out of range [0,%d)", i, len(m.cons))
+	}
+	if int(v) < 0 || int(v) >= len(m.vars) {
+		return fmt.Errorf("lp: SetCoef: constraint %q references unknown variable %d", m.cons[i].name, v)
+	}
+	if math.IsNaN(coef) || math.IsInf(coef, 0) {
+		return fmt.Errorf("lp: SetCoef: constraint %q given non-finite coefficient %v for %s", m.cons[i].name, coef, m.vars[v].name)
+	}
+	terms := m.cons[i].terms
+	j := sort.Search(len(terms), func(k int) bool { return terms[k].Var >= v })
+	if j < len(terms) && terms[j].Var == v {
+		terms[j].Coef = coef
+		return nil
+	}
+	if coef == 0 { //slate:nolint floatcmp -- sparsity: absent zero terms stay absent
+		return nil
+	}
+	terms = append(terms, Term{})
+	copy(terms[j+1:], terms[j:])
+	terms[j] = Term{Var: v, Coef: coef}
+	m.cons[i].terms = terms
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
@@ -67,13 +68,20 @@ func NewDistribution(weights map[topology.ClusterID]float64) (Distribution, erro
 	return d, nil
 }
 
+// localCache interns the single-cluster distributions Lookup falls back
+// to: the data-plane hot path hits Local on every request that has no
+// matching rule, and distributions are immutable, so one shared value
+// per cluster makes the fallback allocation-free.
+var localCache sync.Map // topology.ClusterID -> Distribution
+
 // Local returns a distribution sending 100% to one cluster.
 func Local(c topology.ClusterID) Distribution {
-	d, err := NewDistribution(map[topology.ClusterID]float64{c: 1})
-	if err != nil {
-		panic(err)
+	if d, ok := localCache.Load(c); ok {
+		return d.(Distribution)
 	}
-	return d
+	d := Distribution{clusters: []topology.ClusterID{c}, weights: []float64{1}}
+	actual, _ := localCache.LoadOrStore(c, d)
+	return actual.(Distribution)
 }
 
 // Pick maps a uniform draw u in [0, 1) to a destination cluster.

@@ -9,10 +9,13 @@
 // sweeps hundreds of scenario configurations, and a virtual-time simulator
 // with no synchronization is orders of magnitude faster (and perfectly
 // deterministic) compared to a wall-clock emulation.
+//
+// Events live in a chunked arena recycled through a free list, so the
+// steady-state schedule-fire cycle allocates nothing: a simulation's
+// event-object footprint is its peak pending count, not its event count.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -35,81 +38,90 @@ func (t Time) String() string { return time.Duration(t).String() }
 // MaxTime is the largest representable virtual time.
 const MaxTime = Time(math.MaxInt64)
 
-// Event is a scheduled callback. The callback receives the kernel so it
-// can schedule follow-up events.
+// event is a scheduled callback slot. Slots are arena-owned and recycled
+// the moment they leave the schedule; gen distinguishes the current
+// occupant from any Handle still pointing at a previous one.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO order among events at the same time
+	gen  uint64 // bumped on every recycle; stale Handles can never match
 	fn   func(*Kernel)
-	idx  int // heap index, -1 once popped or cancelled
+	live *int // the owning kernel's pending counter, for O(1) Cancel
 	dead bool
 }
 
+// chunkSize is how many event slots each arena chunk holds. Chunks are
+// never freed, so addresses stay stable for the kernel's lifetime.
+const chunkSize = 256
+
 // Handle identifies a scheduled event and allows cancelling it.
-type Handle struct{ ev *event }
+type Handle struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel removes the event from the schedule. Cancelling an event that
-// already fired (or was already cancelled) is a no-op. Cancel reports
-// whether the event was still pending.
+// already fired (or was already cancelled) is a no-op: the slot's
+// generation counter has moved on, so a stale Handle cannot touch the
+// slot's next occupant. Cancel reports whether the event was still
+// pending. Cancellation is lazy — the slot stays in the heap until its
+// timestamp surfaces — so Cancel is O(1).
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.dead || h.ev.idx < 0 {
+	if h.ev == nil || h.ev.gen != h.gen || h.ev.dead {
 		return false
 	}
 	h.ev.dead = true
+	(*h.ev.live)--
 	return true
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*q = old[:n-1]
-	return ev
 }
 
 // Kernel is the discrete-event simulation engine. The zero value is not
 // usable; construct with NewKernel.
 type Kernel struct {
 	now     Time
-	queue   eventQueue
+	heap    []*event
+	free    []*event
 	seq     uint64
+	live    int // pending (scheduled, not cancelled) events
 	stopped bool
 	nEvents uint64
 }
 
 // NewKernel returns a kernel with the clock at zero and an empty schedule.
-func NewKernel() *Kernel {
-	k := &Kernel{}
-	heap.Init(&k.queue)
-	return k
-}
+func NewKernel() *Kernel { return &Kernel{} }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
 // EventsProcessed reports how many events have fired so far.
 func (k *Kernel) EventsProcessed() uint64 { return k.nEvents }
+
+// alloc returns a free event slot, minting a fresh chunk when the free
+// list is empty.
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		ev := k.free[n-1]
+		k.free = k.free[:n-1]
+		return ev
+	}
+	chunk := make([]event, chunkSize)
+	for i := range chunk {
+		chunk[i].live = &k.live
+	}
+	for i := chunkSize - 1; i > 0; i-- {
+		k.free = append(k.free, &chunk[i])
+	}
+	return &chunk[0]
+}
+
+// recycle bumps the slot's generation (invalidating outstanding Handles),
+// releases the callback closure to the GC, and returns the slot to the
+// free list.
+func (k *Kernel) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	k.free = append(k.free, ev)
+}
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past panics: it is always a model bug, and silently reordering events
@@ -118,10 +130,15 @@ func (k *Kernel) At(at Time, fn func(*Kernel)) Handle {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
 	}
-	ev := &event{at: at, seq: k.seq, fn: fn}
+	ev := k.alloc()
+	ev.at = at
+	ev.seq = k.seq
+	ev.fn = fn
+	ev.dead = false
 	k.seq++
-	heap.Push(&k.queue, ev)
-	return Handle{ev: ev}
+	k.live++
+	k.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -135,15 +152,59 @@ func (k *Kernel) After(d time.Duration, fn func(*Kernel)) Handle {
 // Stop makes Run/RunUntil return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Pending reports the number of events still scheduled.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, ev := range k.queue {
-		if !ev.dead {
-			n++
-		}
+// Pending reports the number of events still scheduled. It is O(1): the
+// kernel counts schedules, cancellations, and firings as they happen.
+func (k *Kernel) Pending() int { return k.live }
+
+// less orders the heap by timestamp, then FIFO among equal timestamps.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return n
+	return a.seq < b.seq
+}
+
+// push inserts ev into the binary heap (sift-up).
+func (k *Kernel) push(ev *event) {
+	k.heap = append(k.heap, ev)
+	h := k.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// popTop removes and returns the heap's minimum (sift-down).
+func (k *Kernel) popTop() *event {
+	h := k.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	k.heap = h[:n]
+	h = k.heap
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && less(h[r], h[l]) {
+			m = r
+		}
+		if !less(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
 }
 
 // Run executes events until the schedule is empty or Stop is called.
@@ -154,19 +215,25 @@ func (k *Kernel) Run() { k.RunUntil(MaxTime) }
 // It returns early if Stop is called or the schedule drains.
 func (k *Kernel) RunUntil(deadline Time) {
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		next := k.queue[0]
-		if next.at > deadline {
+	for len(k.heap) > 0 && !k.stopped {
+		if k.heap[0].at > deadline {
 			k.now = deadline
 			return
 		}
-		heap.Pop(&k.queue)
-		if next.dead {
+		ev := k.popTop()
+		if ev.dead {
+			k.recycle(ev)
 			continue
 		}
-		k.now = next.at
+		// Recycle before firing: the callback runs from copies, so the
+		// slot is immediately reusable by whatever it schedules, and any
+		// Handle to this event is already stale.
+		fn := ev.fn
+		k.now = ev.at
 		k.nEvents++
-		next.fn(k)
+		k.live--
+		k.recycle(ev)
+		fn(k)
 	}
 	if !k.stopped && deadline != MaxTime && k.now < deadline {
 		k.now = deadline
@@ -176,14 +243,18 @@ func (k *Kernel) RunUntil(deadline Time) {
 // Step executes exactly one pending event (skipping cancelled ones) and
 // reports whether an event fired.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		next := heap.Pop(&k.queue).(*event)
-		if next.dead {
+	for len(k.heap) > 0 {
+		ev := k.popTop()
+		if ev.dead {
+			k.recycle(ev)
 			continue
 		}
-		k.now = next.at
+		fn := ev.fn
+		k.now = ev.at
 		k.nEvents++
-		next.fn(k)
+		k.live--
+		k.recycle(ev)
+		fn(k)
 		return true
 	}
 	return false

@@ -1,0 +1,19 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramRecordAllocationFree pins telemetry ingestion — called
+// once per simulated request completion — at zero heap allocations.
+func TestHistogramRecordAllocationFree(t *testing.T) {
+	h := DefaultHistogram()
+	i := 0
+	if n := testing.AllocsPerRun(100, func() {
+		h.Record(time.Duration(i%100) * time.Millisecond)
+		i++
+	}); n != 0 { //slate:nolint floatcmp -- AllocsPerRun returns an integer-valued count
+		t.Fatalf("Record allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# bench.sh — run the micro- and figure-benchmark suite and emit a JSON
+# snapshot (ns/op, B/op, allocs/op, plus every b.ReportMetric figure
+# metric) so the perf trajectory is tracked per PR as BENCH_<n>.json.
+#
+# Usage:
+#   ./scripts/bench.sh                           # print JSON to stdout
+#   ./scripts/bench.sh -out BENCH_3.json         # write JSON to a file
+#   ./scripts/bench.sh -baseline old.json -out BENCH_3.json
+#       # embed a previous snapshot under "baseline" (before/after in one file)
+#   ./scripts/bench.sh -smoke                    # CI: everything once, parse,
+#                                                # validate, discard output
+#   ./scripts/bench.sh -smoke -out smoke.json    # CI: same, but keep the JSON
+#                                                # as a build artifact
+#
+# Environment:
+#   BENCH_TIME_MICRO   -benchtime for micro benchmarks (default 0.5s)
+#   BENCH_COUNT        -count for micro benchmarks (default 1)
+#
+# Micro benchmarks run long enough for stable ns/op; figure benchmarks
+# run once (-benchtime=1x) — their payload is the reported Summary
+# metrics, which are deterministic, not their wall time.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MICRO='^(BenchmarkOptimizerSolve|BenchmarkSimplexTransportation|BenchmarkDESThroughput|BenchmarkRoutingPick|BenchmarkHistogramRecord|BenchmarkMMcSojourn)'
+FIGURES='^(BenchmarkFig|BenchmarkHeadline|BenchmarkAblation|BenchmarkBurstReaction|BenchmarkScalability|BenchmarkAutoscalerInteraction|BenchmarkChaos)'
+
+OUT=""
+BASELINE=""
+SMOKE=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -out) OUT="$2"; shift 2 ;;
+    -baseline) BASELINE="$2"; shift 2 ;;
+    -smoke) SMOKE=1; shift ;;
+    *) echo "bench.sh: unknown flag $1" >&2; exit 2 ;;
+    esac
+done
+
+MICRO_TIME=${BENCH_TIME_MICRO:-0.5s}
+COUNT=${BENCH_COUNT:-1}
+if [ "$SMOKE" = 1 ]; then
+    MICRO_TIME=1x
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "==> micro benchmarks (-benchtime=$MICRO_TIME)" >&2
+go test -run '^$' -bench "$MICRO" -benchmem -benchtime="$MICRO_TIME" -count="$COUNT" . >>"$raw"
+echo "==> figure benchmarks (-benchtime=1x)" >&2
+go test -run '^$' -bench "$FIGURES" -benchmem -benchtime=1x . >>"$raw"
+
+# Parse `go test -bench` output into JSON. A result line is:
+#   BenchmarkName-8  N  12.3 ns/op  4 B/op  2 allocs/op  7.5 some_metric
+# i.e. name, iteration count, then (value, unit) pairs; units other than
+# ns/op / B/op / allocs/op are custom b.ReportMetric figure metrics.
+json=$(awk '
+BEGIN { printed = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        if (unit == "ns/op") ns = val
+        else if (unit == "B/op") bytes = val
+        else if (unit == "allocs/op") allocs = val
+        else {
+            if (metrics != "") metrics = metrics ", "
+            metrics = metrics sprintf("\"%s\": %s", unit, val)
+        }
+    }
+    if (printed) printf(",\n")
+    printf("    {\"name\": \"%s\", \"iters\": %s", name, iters)
+    if (ns != "")     printf(", \"ns_op\": %s", ns)
+    if (bytes != "")  printf(", \"b_op\": %s", bytes)
+    if (allocs != "") printf(", \"allocs_op\": %s", allocs)
+    if (metrics != "") printf(", \"metrics\": {%s}", metrics)
+    printf("}")
+    printed = 1
+}
+END { printf("\n") }
+' "$raw")
+
+nbench=$(printf '%s\n' "$json" | grep -c '"name"' || true)
+if [ "$nbench" -lt 5 ]; then
+    echo "bench.sh: parsed only $nbench benchmark lines — output format drift?" >&2
+    cat "$raw" >&2
+    exit 1
+fi
+echo "==> parsed $nbench benchmark results" >&2
+
+emit() {
+    echo "{"
+    echo "  \"generated_unix\": $(date +%s),"
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo "  \"rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    if [ -n "$BASELINE" ]; then
+        echo "  \"baseline\": $(cat "$BASELINE"),"
+    fi
+    echo "  \"benchmarks\": ["
+    printf '%s' "$json"
+    echo "  ]"
+    echo "}"
+}
+
+if [ "$SMOKE" = 1 ]; then
+    if [ -n "$OUT" ]; then
+        emit >"$OUT"
+    else
+        emit >/dev/null
+    fi
+    echo "bench.sh: smoke OK ($nbench benchmarks)" >&2
+elif [ -n "$OUT" ]; then
+    emit >"$OUT"
+    echo "bench.sh: wrote $OUT" >&2
+else
+    emit
+fi
