@@ -13,11 +13,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"sort"
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/experiments"
+	"github.com/servicelayernetworking/slate/internal/obs"
 )
 
 func main() {
@@ -27,6 +29,8 @@ func main() {
 		warmup   = flag.Duration("warmup", 10*time.Second, "virtual warmup excluded from results")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+		traceOut = flag.String("trace-out", "", "write simulated trace spans as JSONL to this file (experiments that export spans, e.g. chaos)")
+		showObs  = flag.Bool("metrics", false, "print the process obs exposition (Prometheus text) after the runs")
 	)
 	flag.Parse()
 
@@ -45,6 +49,29 @@ func main() {
 	}
 
 	opt := experiments.Options{Duration: *duration, Warmup: *warmup, Seed: *seed}
+	var spanFile *os.File
+	var spans *obs.SpanWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("slate-bench: trace-out: %v", err)
+		}
+		spanFile = f
+		spans = obs.NewSpanWriter(f)
+		opt.SpanSink = spans
+	}
+	finish := func() {
+		if spanFile != nil {
+			if err := spanFile.Close(); err != nil {
+				log.Fatalf("slate-bench: trace-out: %v", err)
+			}
+			log.Printf("slate-bench: wrote %d spans to %s", spans.Count(), *traceOut)
+		}
+		if *showObs {
+			fmt.Println("== metrics (Prometheus exposition) ==")
+			obs.Default().WritePrometheus(os.Stdout)
+		}
+	}
 	run := func(id string) error {
 		f, ok := all[id]
 		if !ok {
@@ -66,10 +93,12 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		finish()
 		return
 	}
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "slate-bench:", err)
 		os.Exit(1)
 	}
+	finish()
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/controlplane"
+	"github.com/servicelayernetworking/slate/internal/obs"
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		globalURL = flag.String("global", "", "global controller base URL (required)")
 		selfURL   = flag.String("advertise", "", "URL the global controller should push rules to (default http://<listen>)")
 		period    = flag.Duration("period", 5*time.Second, "telemetry report interval")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *cluster == "" || *globalURL == "" {
@@ -51,7 +53,14 @@ func main() {
 
 	go cc.Run(ctx, *period)
 
-	srv := &http.Server{Addr: *listen, Handler: cc.Handler()}
+	h := cc.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", h)
+		obs.MountDebug(mux)
+		h = mux
+	}
+	srv := &http.Server{Addr: *listen, Handler: h}
 	go func() {
 		<-ctx.Done()
 		srv.Close()

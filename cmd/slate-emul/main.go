@@ -14,12 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"sort"
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/core"
 	"github.com/servicelayernetworking/slate/internal/emul"
+	"github.com/servicelayernetworking/slate/internal/obs"
 	"github.com/servicelayernetworking/slate/internal/scenario"
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
@@ -32,6 +34,9 @@ func main() {
 		timeScale  = flag.Float64("time-scale", 1, "service time multiplier")
 		netScale   = flag.Float64("netem-scale", 1, "network delay multiplier")
 		seed       = flag.Int64("seed", 42, "routing pick seed")
+		obsListen  = flag.String("obs-listen", "", "serve GET /metrics/prom for the whole mesh on this address (e.g. 127.0.0.1:9900)")
+		pprofOn    = flag.Bool("pprof", false, "with -obs-listen, also mount net/http/pprof under /debug/pprof/")
+		traceOut   = flag.String("trace-out", "", "write proxy trace spans as JSONL to this file at exit")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -58,6 +63,22 @@ func main() {
 	defer mesh.Close()
 	log.Printf("slate-emul: mesh up (%d clusters, app %s), global API at %s",
 		top.NumClusters(), app.Name, mesh.GlobalURL())
+
+	if *obsListen != "" {
+		// One process-wide exposition endpoint: every component in the
+		// mesh registers into obs.Default(), disambiguated by labels.
+		mux := http.NewServeMux()
+		mux.Handle("GET "+obs.MetricsPath, obs.Default().Handler())
+		if *pprofOn {
+			obs.MountDebug(mux)
+		}
+		go func() {
+			log.Printf("slate-emul: metrics on http://%s%s", *obsListen, obs.MetricsPath)
+			if err := http.ListenAndServe(*obsListen, mux); err != nil {
+				log.Printf("slate-emul: obs listener: %v", err)
+			}
+		}()
+	}
 
 	type streamKey struct {
 		class   string
@@ -105,5 +126,20 @@ func main() {
 		res := byKey[k]
 		fmt.Printf("%-12s %-8s %8d %6d %12v %12v\n",
 			k.class, k.cluster, res.Sent, res.Errors, res.Mean().Round(time.Microsecond), res.P99().Round(time.Microsecond))
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("slate-emul: trace-out: %v", err)
+		}
+		sw := obs.NewSpanWriter(f)
+		if err := sw.WriteSpans(mesh.DrainSpans()); err != nil {
+			log.Fatalf("slate-emul: trace-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("slate-emul: trace-out: %v", err)
+		}
+		log.Printf("slate-emul: wrote %d spans to %s", sw.Count(), *traceOut)
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"github.com/servicelayernetworking/slate/internal/controlplane"
 	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/obs"
 	"github.com/servicelayernetworking/slate/internal/scenario"
 )
 
@@ -33,6 +34,7 @@ func main() {
 		maxStep    = flag.Float64("max-step", 0.25, "max traffic weight moved per period per rule")
 		learn      = flag.Bool("learn-profiles", true, "fit latency profiles from telemetry")
 		guard      = flag.Bool("guard", true, "revert rule changes that regress the measured objective")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -62,7 +64,14 @@ func main() {
 	defer cancel()
 	go g.Run(ctx, *period)
 
-	srv := &http.Server{Addr: *listen, Handler: g.Handler()}
+	h := g.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", h)
+		obs.MountDebug(mux)
+		h = mux
+	}
+	srv := &http.Server{Addr: *listen, Handler: h}
 	go func() {
 		<-ctx.Done()
 		srv.Close()

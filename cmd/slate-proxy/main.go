@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/dataplane"
+	"github.com/servicelayernetworking/slate/internal/obs"
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
 
@@ -49,6 +50,7 @@ func main() {
 		retries    = flag.Int("sync-retries", 2, "per-RPC retry attempts within one sync round (-1 disables)")
 		backoff    = flag.Duration("sync-backoff", 100*time.Millisecond, "base retry backoff, doubled per attempt with seeded jitter")
 		maxPending = flag.Int("max-pending-windows", 8, "telemetry windows re-queued across failed pushes before dropping the oldest")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *service == "" || *cluster == "" || *localApp == "" || *resolver == "" {
@@ -91,7 +93,16 @@ func main() {
 		go agent.Run(ctx)
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: proxy}
+	// The proxy serves GET /metrics/prom itself; -pprof adds the
+	// debug endpoints in front of the catch-all proxying.
+	var h http.Handler = proxy
+	if *pprofOn {
+		mux := http.NewServeMux()
+		obs.MountDebug(mux)
+		mux.Handle("/", proxy)
+		h = mux
+	}
+	srv := &http.Server{Addr: *listen, Handler: h}
 	go func() {
 		<-ctx.Done()
 		srv.Close()

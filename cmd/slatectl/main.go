@@ -7,21 +7,34 @@
 //	slatectl -scenario scenario.json
 //	slatectl -scenario scenario.json -cost-weight 1e4 -json
 //	slatectl -scenario scenario.json -policy waterfall -threshold 0.8
+//	slatectl metrics 127.0.0.1:7000        # scrape a live daemon
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"github.com/servicelayernetworking/slate/internal/baseline"
 	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/obs"
 	"github.com/servicelayernetworking/slate/internal/scenario"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		if err := scrapeMetrics(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		path       = flag.String("scenario", "", "scenario JSON file (required)")
 		latWeight  = flag.Float64("latency-weight", 1, "objective weight for latency")
@@ -99,6 +112,40 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
+}
+
+// scrapeMetrics fetches a SLATE daemon's Prometheus exposition
+// (`slatectl metrics <addr>`) and prints it to stdout. addr may be a
+// bare host:port or a full base URL; the /metrics/prom path is appended
+// unless already present.
+func scrapeMetrics(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: slatectl metrics <addr>")
+	}
+	u := args[0]
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	if !strings.HasSuffix(u, obs.MetricsPath) {
+		u = strings.TrimSuffix(u, "/") + obs.MetricsPath
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: status %d: %s", u, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }
 
 func fatal(err error) {

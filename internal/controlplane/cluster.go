@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/dataplane"
+	"github.com/servicelayernetworking/slate/internal/obs"
 	"github.com/servicelayernetworking/slate/internal/routing"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
 	"github.com/servicelayernetworking/slate/internal/topology"
@@ -55,12 +56,23 @@ type Cluster struct {
 
 	client *http.Client
 	now    func() time.Time
+
+	metricsH    http.Handler
+	mIngested   *obs.Counter
+	mIngestErrs *obs.Counter
+	mReports    *obs.Counter
+	mReportErrs *obs.Counter
+	mExcluded   *obs.Counter
+	mMissing    *obs.Gauge
+	mTableVer   *obs.Gauge
 }
 
 // NewCluster returns a cluster controller reporting to globalURL (may
 // be empty for in-process wiring where the caller pumps telemetry
-// itself).
+// itself). Metrics register into obs.Default(), labeled by cluster.
 func NewCluster(id topology.ClusterID, globalURL string) *Cluster {
+	reg := obs.Default()
+	cl := string(id)
 	return &Cluster{
 		id:        id,
 		globalURL: globalURL,
@@ -68,6 +80,21 @@ func NewCluster(id topology.ClusterID, globalURL string) *Cluster {
 		table:     routing.EmptyTable(),
 		client:    &http.Client{Timeout: 10 * time.Second},
 		now:       time.Now,
+		metricsH:  reg.Handler(),
+		mIngested: reg.CounterVec("slate_cluster_ingested_batches_total",
+			"Telemetry batches accepted from local proxies.", "cluster").With(cl),
+		mIngestErrs: reg.CounterVec("slate_cluster_ingest_errors_total",
+			"Telemetry pushes rejected as malformed.", "cluster").With(cl),
+		mReports: reg.CounterVec("slate_cluster_reports_total",
+			"Window reports uploaded to the global controller.", "cluster").With(cl),
+		mReportErrs: reg.CounterVec("slate_cluster_report_errors_total",
+			"Window reports that failed to reach the global controller.", "cluster").With(cl),
+		mExcluded: reg.CounterVec("slate_cluster_excluded_stale_windows_total",
+			"Pushed batches excluded from the global snapshot as stale.", "cluster").With(cl),
+		mMissing: reg.GaugeVec("slate_cluster_missing_proxies",
+			"Proxies silent past the staleness bound as of the last Collect.", "cluster").With(cl),
+		mTableVer: reg.GaugeVec("slate_cluster_table_version",
+			"Version of the routing table last applied.", "cluster").With(cl),
 	}
 }
 
@@ -106,6 +133,7 @@ func (c *Cluster) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/metrics", c.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", c.handleStats)
 	mux.HandleFunc("GET /v1/health", c.handleHealth)
+	mux.Handle("GET "+obs.MetricsPath, c.metricsH)
 	return mux
 }
 
@@ -122,6 +150,7 @@ func (c *Cluster) handleGetRules(w http.ResponseWriter, _ *http.Request) {
 func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var stats []telemetry.WindowStats
 	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		c.mIngestErrs.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -145,6 +174,7 @@ func (c *Cluster) IngestFrom(source string, stats []telemetry.WindowStats) {
 		c.sources[source] = now
 	}
 	c.mu.Unlock()
+	c.mIngested.Inc()
 }
 
 // MissingProxies returns the sources that had not reported within the
@@ -209,6 +239,7 @@ func (c *Cluster) ApplyTable(t *routing.Table) {
 	c.table = t
 	proxies := append([]*dataplane.Proxy(nil), c.proxies...)
 	c.mu.Unlock()
+	c.mTableVer.Set(float64(t.Version))
 	for _, p := range proxies {
 		p.SetTable(t)
 	}
@@ -250,6 +281,7 @@ func (c *Cluster) Collect(window time.Duration) []telemetry.WindowStats {
 	for _, g := range buffered {
 		if staleAfter > 0 && now.Sub(g.at) > staleAfter {
 			c.excluded++
+			c.mExcluded.Inc()
 			continue
 		}
 		groups = append(groups, g.stats)
@@ -265,6 +297,7 @@ func (c *Cluster) Collect(window time.Duration) []telemetry.WindowStats {
 	}
 	c.missing = missing
 	c.mu.Unlock()
+	c.mMissing.Set(float64(len(missing)))
 
 	for _, p := range proxies {
 		groups = append(groups, p.FlushTelemetry(window))
@@ -296,8 +329,10 @@ func (c *Cluster) Report(ctx context.Context, window time.Duration) error {
 		return err
 	}
 	if err := postJSON(ctx, c.client, c.globalURL+"/v1/metrics", body); err != nil {
+		c.mReportErrs.Inc()
 		return fmt.Errorf("controlplane: report to global: %w", err)
 	}
+	c.mReports.Inc()
 	return nil
 }
 

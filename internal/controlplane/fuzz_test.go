@@ -1,0 +1,122 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// fuzzGlobal builds one Global handler for a whole fuzz run; individual
+// executions reset the pending-report buffer so millions of iterations
+// cannot grow it without bound.
+func fuzzGlobal(f *testing.F) (*Global, http.Handler) {
+	f.Helper()
+	top := topology.TwoClusters(40 * time.Millisecond)
+	ctrl, err := core.NewController(top, chainApp(), core.ControllerConfig{DemandSmoothing: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	g := NewGlobal(ctrl)
+	return g, g.Handler()
+}
+
+// FuzzHandleMetrics feeds arbitrary bodies to the global controller's
+// telemetry ingest endpoint: it must never panic, and must answer only
+// 202 (decoded) or 400 (malformed).
+func FuzzHandleMetrics(f *testing.F) {
+	g, h := fuzzGlobal(f)
+	valid, err := json.Marshal(MetricsReport{
+		Cluster:  topology.West,
+		WindowMS: 1000,
+		Stats:    feStats(900, 100),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"cluster":"west","window_ms":-5,"stats":null}`))
+	f.Add([]byte(`{"stats":[{"key":{"service":"","class":"","cluster":""}}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/metrics", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted && rec.Code != http.StatusBadRequest {
+			t.Fatalf("POST /v1/metrics(%q) = %d, want 202 or 400", body, rec.Code)
+		}
+		g.mu.Lock()
+		g.pending = nil
+		g.mu.Unlock()
+	})
+}
+
+// FuzzHandleRules feeds arbitrary bodies to the cluster controller's
+// rule-push endpoint. No input may panic; any accepted table must hold
+// the Distribution invariant (normalized non-negative weights), because
+// the decoder routes every rule through routing.NewDistribution.
+func FuzzHandleRules(f *testing.F) {
+	c := NewCluster(topology.West, "")
+	h := c.Handler()
+
+	d, err := routing.NewDistribution(map[topology.ClusterID]float64{
+		topology.West: 0.7, topology.East: 0.3,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(routing.NewTable(3, map[routing.Key]routing.Distribution{
+		{Service: "gateway", Class: "default", Cluster: topology.West}: d,
+	}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"version":1,"rules":[]}`))
+	f.Add([]byte(`{"version":2,"rules":[{"service":"s","class":"*","cluster":"west","weights":{"west":-1}}]}`))
+	f.Add([]byte(`{"version":9,"rules":[{"weights":{"x":1e308,"y":1e308}}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/rules", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusNoContent:
+			tab := c.Table()
+			if tab == nil {
+				t.Fatal("accepted rule push left a nil table")
+			}
+			for _, k := range tab.Keys() {
+				dist, ok := tab.Get(k)
+				if !ok {
+					t.Fatalf("Keys lists %v but Get misses it", k)
+				}
+				var sum float64
+				for _, cl := range dist.Clusters() {
+					w := dist.Weight(cl)
+					if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+						t.Fatalf("rule %v: invalid weight %v for %q", k, w, cl)
+					}
+					sum += w
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("rule %v: weights sum to %v, want 1", k, sum)
+				}
+			}
+		case http.StatusBadRequest:
+			// malformed body rejected, nothing applied
+		default:
+			t.Fatalf("POST /v1/rules(%q) = %d, want 204 or 400", body, rec.Code)
+		}
+	})
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/core"
+	"github.com/servicelayernetworking/slate/internal/obs"
 	"github.com/servicelayernetworking/slate/internal/routing"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
 	"github.com/servicelayernetworking/slate/internal/topology"
@@ -67,14 +68,55 @@ type Global struct {
 	ticks    uint64
 	lastErr  string
 	client   *http.Client
+
+	metricsH     http.Handler
+	mTicks       *obs.Counter
+	mTickErrs    *obs.Counter
+	mTickDur     *obs.Histogram
+	mPushErrs    *obs.Counter
+	mReports     *obs.Counter
+	mReportErrs  *obs.Counter
+	mTableVer    *obs.Gauge
+	mIterHolds   *obs.Gauge
+	mReverts     *obs.Gauge
+	mWarmSolves  *obs.Gauge
+	mColdSolves  *obs.Gauge
+	mStaleGroups *obs.Gauge
 }
 
-// NewGlobal wraps a core controller as a daemon.
+// NewGlobal wraps a core controller as a daemon, instrumenting into
+// obs.Default().
 func NewGlobal(ctrl *core.Controller) *Global {
+	reg := obs.Default()
 	return &Global{
 		ctrl:     ctrl,
 		clusters: make(map[topology.ClusterID]string),
 		client:   &http.Client{Timeout: 10 * time.Second},
+		metricsH: reg.Handler(),
+		mTicks: reg.Counter("slate_global_ticks_total",
+			"Optimization ticks run (including failed ones)."),
+		mTickErrs: reg.Counter("slate_global_tick_errors_total",
+			"Optimization ticks that returned an error."),
+		mTickDur: reg.Histogram("slate_global_tick_seconds",
+			"Wall time of one optimization tick (merge + solve + push).", nil),
+		mPushErrs: reg.Counter("slate_global_push_errors_total",
+			"Rule pushes to cluster controllers that failed."),
+		mReports: reg.Counter("slate_global_reports_total",
+			"Telemetry reports accepted from cluster controllers."),
+		mReportErrs: reg.Counter("slate_global_report_errors_total",
+			"Telemetry reports rejected as malformed."),
+		mTableVer: reg.Gauge("slate_global_table_version",
+			"Version of the routing table currently published."),
+		mIterHolds: reg.Gauge("slate_global_iter_limit_holds",
+			"Cumulative ticks that held the previous table because the solver hit its iteration budget."),
+		mReverts: reg.Gauge("slate_global_rule_reverts",
+			"Cumulative ticks that reverted to a safe table."),
+		mWarmSolves: reg.Gauge("slate_global_lp_warm_solves",
+			"Cumulative LP solves that reused the previous basis."),
+		mColdSolves: reg.Gauge("slate_global_lp_cold_solves",
+			"Cumulative LP solves from scratch."),
+		mStaleGroups: reg.Gauge("slate_global_pending_reports",
+			"Telemetry report groups waiting to be merged at the next tick."),
 	}
 }
 
@@ -92,6 +134,7 @@ func (g *Global) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/optimize", g.handleOptimize)
 	mux.HandleFunc("GET /v1/table", g.handleTable)
 	mux.HandleFunc("GET /v1/status", g.handleStatus)
+	mux.Handle("GET "+obs.MetricsPath, g.metricsH)
 	return mux
 }
 
@@ -114,6 +157,7 @@ func (g *Global) handleRegister(w http.ResponseWriter, r *http.Request) {
 func (g *Global) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var rep MetricsReport
 	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		g.mReportErrs.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -122,7 +166,9 @@ func (g *Global) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if rep.WindowMS > 0 {
 		g.window = time.Duration(rep.WindowMS) * time.Millisecond
 	}
+	g.mStaleGroups.Set(float64(len(g.pending)))
 	g.mu.Unlock()
+	g.mReports.Inc()
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -164,6 +210,7 @@ func (g *Global) handleStatus(w http.ResponseWriter, _ *http.Request) {
 // The context bounds the rule pushes so shutdown (or a cancelled
 // /v1/optimize request) does not hang on a wedged cluster controller.
 func (g *Global) Tick(ctx context.Context) error {
+	start := time.Now()
 	g.mu.Lock()
 	groups := g.pending
 	g.pending = nil
@@ -183,12 +230,27 @@ func (g *Global) Tick(ctx context.Context) error {
 	for c, u := range g.clusters {
 		targets[c] = u
 	}
+	g.mTableVer.Set(float64(g.ctrl.Table().Version))
+	g.mIterHolds.Set(float64(g.ctrl.IterLimitHolds()))
+	g.mReverts.Set(float64(g.ctrl.Reverts()))
+	solves := g.ctrl.OptimizerStats()
+	g.mWarmSolves.Set(float64(solves.WarmSolves))
+	g.mColdSolves.Set(float64(solves.ColdSolves))
+	g.mStaleGroups.Set(0)
 	g.mu.Unlock()
 
+	g.mTicks.Inc()
 	if err != nil {
+		g.mTickErrs.Inc()
+		g.mTickDur.Observe(time.Since(start).Seconds())
 		return err
 	}
-	return g.push(ctx, table, targets)
+	pushErr := g.push(ctx, table, targets)
+	if pushErr != nil {
+		g.mPushErrs.Inc()
+	}
+	g.mTickDur.Observe(time.Since(start).Seconds())
+	return pushErr
 }
 
 func (g *Global) push(ctx context.Context, table *routing.Table, targets map[topology.ClusterID]string) error {

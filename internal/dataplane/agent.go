@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/servicelayernetworking/slate/internal/obs"
 	"github.com/servicelayernetworking/slate/internal/routing"
 	"github.com/servicelayernetworking/slate/internal/sim"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
@@ -46,6 +47,9 @@ type AgentOptions struct {
 	// successful push, so a controller outage loses no telemetry as
 	// long as it is shorter than MaxPendingWindows sync periods.
 	MaxPendingWindows int
+	// Metrics is the registry the agent instruments into; nil uses
+	// obs.Default().
+	Metrics *obs.Registry
 }
 
 func (o AgentOptions) withDefaults() AgentOptions {
@@ -100,6 +104,10 @@ type Agent struct {
 	droppedWindows int
 	// sleep is swapped by tests to avoid real backoff waits.
 	sleep func(ctx context.Context, d time.Duration) error
+
+	mRetries *obs.Counter
+	mDropped *obs.Counter
+	mPending *obs.Gauge
 }
 
 // NewAgent wires a proxy to a cluster controller base URL with default
@@ -115,12 +123,26 @@ func NewAgentOpts(p *Proxy, clusterURL string, opts AgentOptions) (*Agent, error
 		return nil, fmt.Errorf("dataplane: agent needs a proxy and a cluster controller URL")
 	}
 	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	svc, cl := p.Service(), string(p.Cluster())
 	return &Agent{
 		proxy:      p,
 		clusterURL: clusterURL,
 		opts:       opts,
 		client:     &http.Client{Timeout: 10 * time.Second, Transport: opts.Transport},
 		sleep:      sleepCtx,
+		mRetries: reg.CounterVec("slate_agent_retries_total",
+			"Control-plane RPC retry attempts (beyond the first try).",
+			"service", "cluster").With(svc, cl),
+		mDropped: reg.CounterVec("slate_agent_dropped_windows_total",
+			"Telemetry windows evicted because the controller stayed unreachable past the pending cap.",
+			"service", "cluster").With(svc, cl),
+		mPending: reg.GaugeVec("slate_agent_pending_windows",
+			"Telemetry windows queued awaiting a successful push.",
+			"service", "cluster").With(svc, cl),
 	}, nil
 }
 
@@ -159,8 +181,10 @@ func (a *Agent) pushTelemetry(ctx context.Context) error {
 		if over := len(a.pending) - a.opts.MaxPendingWindows; over > 0 {
 			a.pending = a.pending[over:]
 			a.droppedWindows += over
+			a.mDropped.Add(uint64(over))
 		}
 	}
+	a.mPending.Set(float64(len(a.pending)))
 	if len(a.pending) == 0 {
 		return nil
 	}
@@ -194,6 +218,7 @@ func (a *Agent) pushTelemetry(ctx context.Context) error {
 		return fmt.Errorf("dataplane: agent push: %w", err)
 	}
 	a.pending = nil
+	a.mPending.Set(0)
 	return nil
 }
 
@@ -248,6 +273,7 @@ func (a *Agent) withRetries(ctx context.Context, op func(context.Context) error)
 		if attempt >= a.opts.MaxRetries {
 			return lastErr
 		}
+		a.mRetries.Inc()
 		// Jitter uniformly in [0.5, 1.5)x so a fleet of agents does not
 		// re-dial a recovering controller in lockstep.
 		wait := time.Duration(float64(backoff) * (0.5 + a.opts.RNG.Float64()))

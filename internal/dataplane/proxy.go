@@ -25,6 +25,7 @@ import (
 
 	"github.com/servicelayernetworking/slate/internal/classifier"
 	"github.com/servicelayernetworking/slate/internal/netem"
+	"github.com/servicelayernetworking/slate/internal/obs"
 	"github.com/servicelayernetworking/slate/internal/routing"
 	"github.com/servicelayernetworking/slate/internal/sim"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
@@ -99,6 +100,11 @@ type Config struct {
 	StaleAfter time.Duration
 	// Now overrides the clock (tests); nil uses time.Now.
 	Now func() time.Time
+	// Metrics is the registry this proxy instruments into; nil uses
+	// obs.Default(). Series are disambiguated by {service,cluster}
+	// labels, so many proxies can share one registry (and one process
+	// exposition endpoint).
+	Metrics *obs.Registry
 }
 
 // Proxy is one SLATE-proxy instance. Safe for concurrent use.
@@ -126,6 +132,18 @@ type Proxy struct {
 
 	spanMu sync.Mutex
 	spans  []telemetry.Span
+
+	// Metric handles, resolved once at construction so the per-request
+	// increments are single atomic ops (no map lookups on unlabeled
+	// series; the routed vec's warm lookups are allocation-free).
+	metricsH     http.Handler
+	mInbound     *obs.Counter
+	mRouted      *obs.CounterVec
+	mDegraded    *obs.Counter
+	mDegradLevel *obs.Gauge
+	mFailovers   *obs.Counter
+	mUpstreamErr *obs.Counter
+	mInboundDur  *obs.Histogram
 }
 
 // New builds a Proxy.
@@ -168,7 +186,53 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	p.table.Store(routing.EmptyTable())
 	p.lastFresh.Store(now().UnixNano())
+
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	svc, cl := p.service, string(p.cluster)
+	p.metricsH = reg.Handler()
+	p.mInbound = reg.CounterVec("slate_proxy_inbound_requests_total",
+		"Inbound requests forwarded to the local application.",
+		"service", "cluster").With(svc, cl)
+	p.mRouted = reg.CounterVec("slate_proxy_routed_requests_total",
+		"Outbound requests routed, by traffic class and destination cluster.",
+		"service", "cluster", "class", "target")
+	p.mDegraded = reg.CounterVec("slate_proxy_degraded_picks_total",
+		"Routing decisions made in degraded (local-biased) mode.",
+		"service", "cluster").With(svc, cl)
+	p.mDegradLevel = reg.GaugeVec("slate_proxy_degradation_level",
+		"Degradation ladder level: 0 fresh, 1 stale-but-held, 2 local fallback.",
+		"service", "cluster").With(svc, cl)
+	p.mFailovers = reg.CounterVec("slate_proxy_resolve_failovers_total",
+		"Outbound calls rescued by locality failover after a resolve miss.",
+		"service", "cluster").With(svc, cl)
+	p.mUpstreamErr = reg.CounterVec("slate_proxy_upstream_errors_total",
+		"Outbound calls that failed at the upstream sidecar or local app.",
+		"service", "cluster").With(svc, cl)
+	p.mInboundDur = reg.HistogramVec("slate_proxy_inbound_seconds",
+		"Sojourn time of inbound requests through the local application.",
+		nil, "service", "cluster").With(svc, cl)
 	return p, nil
+}
+
+// DegradationLevel reports where the proxy sits on the degradation
+// ladder right now: 0 — rules fresh; 1 — rules past half the staleness
+// TTL but still trusted (stale-but-held); 2 — TTL expired, routing has
+// fallen back to local-biased distributions.
+func (p *Proxy) DegradationLevel() int {
+	if p.staleAfter <= 0 {
+		return 0
+	}
+	age := p.RulesAge()
+	switch {
+	case age > p.staleAfter:
+		return 2
+	case age > p.staleAfter/2:
+		return 1
+	}
+	return 0
 }
 
 // SetTable atomically swaps the routing rules (pushed by the cluster
@@ -232,10 +296,17 @@ func (p *Proxy) Cluster() topology.ClusterID { return p.cluster }
 // Service returns the proxied service name.
 func (p *Proxy) Service() string { return p.service }
 
-// ServeHTTP dispatches inbound vs outbound traffic.
+// ServeHTTP dispatches inbound vs outbound traffic. GET /metrics/prom
+// (without an outbound header) is answered by the sidecar itself with
+// the registry's Prometheus exposition, so every proxy is scrapeable on
+// the port it already listens on.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if target := r.Header.Get(HeaderOutbound); target != "" {
 		p.serveOutbound(w, r, target)
+		return
+	}
+	if r.Method == http.MethodGet && r.URL.Path == obs.MetricsPath {
+		p.metricsH.ServeHTTP(w, r)
 		return
 	}
 	p.serveInbound(w, r)
@@ -278,6 +349,7 @@ func (p *Proxy) serveInbound(w http.ResponseWriter, r *http.Request) {
 
 	resp, err := p.client.Do(req)
 	if err != nil {
+		p.mUpstreamErr.Inc()
 		http.Error(w, "slate-proxy: local app: "+err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -287,6 +359,8 @@ func (p *Proxy) serveInbound(w http.ResponseWriter, r *http.Request) {
 	written, _ := io.Copy(w, resp.Body)
 
 	sojourn := time.Since(start)
+	p.mInbound.Inc()
+	p.mInboundDur.Observe(sojourn.Seconds())
 	p.agg.Record(telemetry.MetricKey{
 		Service: p.service,
 		Class:   class,
@@ -309,8 +383,11 @@ func (p *Proxy) serveOutbound(w http.ResponseWriter, r *http.Request, targetServ
 	// blind, stale cross-cluster weights may point at overloaded or
 	// unreachable pools, so "do no harm" means keeping traffic local.
 	var dist routing.Distribution
-	if p.RulesStale() {
+	level := p.DegradationLevel()
+	p.mDegradLevel.Set(float64(level))
+	if level == 2 {
 		p.degraded.Add(1)
+		p.mDegraded.Inc()
 		dist = routing.Local(p.cluster)
 	} else {
 		dist = p.table.Load().Lookup(targetService, class, p.cluster)
@@ -335,10 +412,12 @@ func (p *Proxy) serveOutbound(w http.ResponseWriter, r *http.Request, targetServ
 			}
 			if b2, err2 := p.resolve.Resolve(targetService, c); err2 == nil {
 				base, dst, err = b2, c, nil
+				p.mFailovers.Inc()
 				break
 			}
 		}
 		if err != nil {
+			p.mUpstreamErr.Inc()
 			http.Error(w, "slate-proxy: resolve "+targetService+": "+err.Error(), http.StatusServiceUnavailable)
 			return
 		}
@@ -372,10 +451,12 @@ func (p *Proxy) serveOutbound(w http.ResponseWriter, r *http.Request, targetServ
 
 	resp, err := p.client.Do(req)
 	if err != nil {
+		p.mUpstreamErr.Inc()
 		http.Error(w, "slate-proxy: upstream "+targetService+": "+err.Error(), http.StatusBadGateway)
 		return
 	}
 	defer resp.Body.Close()
+	p.mRouted.With(p.service, string(p.cluster), class, string(dst)).Inc()
 
 	if crossed && p.nem != nil {
 		// Response path delay.

@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"github.com/servicelayernetworking/slate/internal/dataplane"
 	"github.com/servicelayernetworking/slate/internal/fault"
 	"github.com/servicelayernetworking/slate/internal/netem"
+	"github.com/servicelayernetworking/slate/internal/obs"
 	"github.com/servicelayernetworking/slate/internal/sim"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
 	"github.com/servicelayernetworking/slate/internal/topology"
@@ -310,6 +312,27 @@ func (m *Mesh) Proxy(svc appgraph.ServiceID, cl topology.ClusterID) *dataplane.P
 	return m.proxies[poolID{svc, cl}]
 }
 
+// DrainSpans drains every sidecar's buffered trace spans, sorted by
+// (trace, start, span ID) so dumps are deterministic. Feed the result to
+// an obs.SpanWriter to export a JSONL trace file.
+func (m *Mesh) DrainSpans() []telemetry.Span {
+	var out []telemetry.Span
+	for _, p := range m.proxies {
+		out = append(out, p.DrainSpans()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
 // GlobalURL returns the global controller's API base URL.
 func (m *Mesh) GlobalURL() string { return m.gURL }
 
@@ -405,6 +428,8 @@ type appServer struct {
 	// nodes maps "METHOD path" to the call nodes it may execute (one per
 	// class).
 	nodes map[string][]*appgraph.CallNode
+
+	mReqs *obs.Counter
 }
 
 func newAppServer(app *appgraph.App, sid appgraph.ServiceID, cl topology.ClusterID, servers int, scale float64, reg *registry) *appServer {
@@ -417,6 +442,9 @@ func newAppServer(app *appgraph.App, sid appgraph.ServiceID, cl topology.Cluster
 		slots:   make(chan struct{}, servers),
 		client:  &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
 		nodes:   map[string][]*appgraph.CallNode{},
+		mReqs: obs.Default().CounterVec("slate_app_requests_total",
+			"Requests executed by emulated application instances.",
+			"service", "cluster").With(string(sid), string(cl)),
 	}
 	for _, class := range app.Classes {
 		class.Root.Walk(func(n *appgraph.CallNode) {
@@ -436,6 +464,7 @@ func (s *appServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	io.Copy(io.Discard, r.Body)
+	s.mReqs.Inc()
 
 	// Busy time occupies one of the pool's concurrency slots.
 	s.slots <- struct{}{}

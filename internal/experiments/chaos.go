@@ -86,6 +86,12 @@ func Chaos(opt Options) (*Figure, error) {
 	run := func(name string, ttl time.Duration) (*simrun.Result, error) {
 		s := scn
 		s.RuleTTL = ttl
+		if name == "hardened" {
+			// Only the hardened leg exports spans: both legs share the
+			// deterministic per-run trace-ID sequence, so exporting both
+			// into one sink would collide trace IDs across legs.
+			s.SpanSink = opt.SpanSink
+		}
 		ctrl, err := core.NewController(top, app, core.ControllerConfig{})
 		if err != nil {
 			return nil, err

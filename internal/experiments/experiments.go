@@ -88,6 +88,10 @@ type Options struct {
 	Duration, Warmup time.Duration
 	// Seed for reproducibility (default 42).
 	Seed int64
+	// SpanSink, when non-nil, receives trace spans from experiments that
+	// export them (chaos; see simrun.Scenario.SpanSink). slate-bench
+	// wires an obs.SpanWriter here for -trace-out.
+	SpanSink simrun.SpanSink
 }
 
 func (o Options) defaults() Options {

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/servicelayernetworking/slate/internal/obs"
 	"github.com/servicelayernetworking/slate/internal/sim"
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
@@ -121,19 +122,31 @@ type Injector struct {
 	down    map[Target]bool
 	cuts    map[clusterPair]bool
 	rules   []Rule
+
+	// Injected-event counters by kind, cached so Decide's hot path is a
+	// single atomic increment per verdict.
+	mCrash, mPartition, mDrop, mFail, mDelay *obs.Counter
 }
 
 // NewInjector returns an injector drawing from rng (nil seeds a zero
-// stream).
+// stream). Injected events count into obs.Default() under
+// slate_fault_injected_total{kind}.
 func NewInjector(rng *sim.RNG) *Injector {
 	if rng == nil {
 		rng = sim.NewRNG(0)
 	}
+	v := obs.Default().CounterVec("slate_fault_injected_total",
+		"Faults injected into control RPCs, by kind.", "kind")
 	return &Injector{
-		rng:     rng,
-		streams: make(map[string]*sim.RNG),
-		down:    make(map[Target]bool),
-		cuts:    make(map[clusterPair]bool),
+		rng:        rng,
+		streams:    make(map[string]*sim.RNG),
+		down:       make(map[Target]bool),
+		cuts:       make(map[clusterPair]bool),
+		mCrash:     v.With("crash"),
+		mPartition: v.With("partition"),
+		mDrop:      v.With("drop"),
+		mFail:      v.With("fail"),
+		mDelay:     v.With("delay"),
 	}
 }
 
@@ -221,7 +234,12 @@ func (i *Injector) partitionedLocked(from, to Target) bool {
 func (i *Injector) Decide(from, to Target) Decision {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	if i.down[to] || i.down[from] || i.partitionedLocked(from, to) {
+	if i.down[to] || i.down[from] {
+		i.mCrash.Inc()
+		return Decision{Drop: true}
+	}
+	if i.partitionedLocked(from, to) {
+		i.mPartition.Inc()
 		return Decision{Drop: true}
 	}
 	var d Decision
@@ -234,12 +252,21 @@ func (i *Injector) Decide(from, to Target) Decision {
 		// aligned whatever the rule outcome.
 		uDrop, uFail, uJit := stream.Float64(), stream.Float64(), stream.Float64()
 		if r.Drop > 0 && uDrop < r.Drop {
+			if !d.Drop {
+				i.mDrop.Inc()
+			}
 			d.Drop = true
 		}
 		if r.Fail > 0 && uFail < r.Fail {
+			if !d.Fail {
+				i.mFail.Inc()
+			}
 			d.Fail = true
 		}
 		if r.Delay > 0 {
+			if d.Delay == 0 {
+				i.mDelay.Inc()
+			}
 			scale := 1.0
 			if r.Jitter > 0 {
 				scale = 1 + r.Jitter*(2*uJit-1)

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// contentType is the Prometheus text exposition format version this
+// package writes.
+const contentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format. Mount it at MetricsPath.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// WritePrometheus writes every family in Prometheus text format:
+// families sorted by name, series sorted by label values, HELP/TYPE
+// lines first. The output is buffered and written once, so no registry
+// or family lock is held across the (possibly blocking) write to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b bytes.Buffer
+	for _, f := range r.families() {
+		writeFamily(&b, f)
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+func writeFamily(b *bytes.Buffer, f *family) {
+	series := f.sortedSeries()
+	if len(series) == 0 {
+		return
+	}
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteByte('\n')
+	b.WriteString("# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.kind.String())
+	b.WriteByte('\n')
+	for _, se := range series {
+		switch m := se.metric.(type) {
+		case *Counter:
+			writeName(b, f.name, "", f.labels, se.key, "", "")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(m.Value(), 10))
+			b.WriteByte('\n')
+		case *Gauge:
+			writeName(b, f.name, "", f.labels, se.key, "", "")
+			b.WriteByte(' ')
+			writeFloat(b, m.Value())
+			b.WriteByte('\n')
+		case *Histogram:
+			s := m.Snapshot()
+			var cum uint64
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
+				writeName(b, f.name, "_bucket", f.labels, se.key, "le", formatFloat(bound))
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(cum, 10))
+				b.WriteByte('\n')
+			}
+			cum += s.Counts[len(s.Bounds)]
+			writeName(b, f.name, "_bucket", f.labels, se.key, "le", "+Inf")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(cum, 10))
+			b.WriteByte('\n')
+			writeName(b, f.name, "_sum", f.labels, se.key, "", "")
+			b.WriteByte(' ')
+			writeFloat(b, s.Sum)
+			b.WriteByte('\n')
+			writeName(b, f.name, "_count", f.labels, se.key, "", "")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(s.Count, 10))
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// writeName writes `name_suffix{label="value",...}` with the optional
+// extra label (used for histogram `le`) appended last.
+func writeName(b *bytes.Buffer, name, suffix string, labels []string, key labelKey, extraLabel, extraValue string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) == 0 && extraLabel == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(key[i]))
+		b.WriteByte('"')
+	}
+	if extraLabel != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraLabel)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeFloat(b *bytes.Buffer, v float64) {
+	b.WriteString(formatFloat(v))
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

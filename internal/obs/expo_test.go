@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a registry with one representative of every
+// metric shape the exposition writer handles: unlabeled and labeled
+// counters, gauges (including negative and fractional values), a
+// histogram with explicit bounds, and label values that need escaping.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+
+	v := r.CounterVec("slate_proxy_routed_requests_total",
+		"Outbound requests routed by the proxy, by class and target cluster.",
+		"service", "cluster", "class", "target")
+	v.With("frontend", "west", "checkout", "west").Add(12)
+	v.With("frontend", "west", "checkout", "east").Add(3)
+	v.With("frontend", "west", "browse", "west").Add(40)
+
+	r.Counter("slate_global_ticks_total", "Optimization ticks run.").Add(7)
+
+	g := r.GaugeVec("slate_cluster_missing_proxies",
+		"Proxies silent past the staleness bound.", "cluster")
+	g.With("west").Set(0)
+	g.With("east").Set(2)
+	r.Gauge("slate_demo_temperature", "A gauge that goes down.").Set(-3.25)
+
+	h := r.Histogram("slate_global_tick_seconds",
+		"Wall time of one optimization tick.", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0004, 0.002, 0.002, 0.05, 2.5} {
+		h.Observe(v)
+	}
+
+	esc := r.CounterVec("slate_escape_total", `Help with backslash \ and`+"\nnewline.", "path")
+	esc.With(`/a"b\c` + "\nd").Inc()
+	return r
+}
+
+func TestPrometheusExpositionGolden(t *testing.T) {
+	var got bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&got); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got.Bytes(), want)
+	}
+}
+
+// TestExpositionDeterministic guards the stable-ordering contract the
+// golden file relies on: two identically built registries serialize
+// byte-identically regardless of map iteration order.
+func TestExpositionDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("exposition is not deterministic:\n%s\n---\n%s", a.Bytes(), b.Bytes())
+	}
+}

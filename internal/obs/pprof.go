@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MountDebug wires net/http/pprof's handlers onto mux under
+// /debug/pprof/. Daemons mount it behind an explicit -pprof flag:
+// profiling endpoints expose goroutine dumps and CPU profiles, which an
+// operator wants on demand, not on every listener by default.
+func MountDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/telemetry"
+)
+
+// spanRecord is the JSONL wire form of one telemetry.Span: one JSON
+// object per line. Trace/span IDs are lowercase hex strings, matching
+// the X-Slate-Trace-Id / X-Slate-Span-Id wire headers, so a dumped
+// trace can be grepped against proxy logs; parent "0" marks a root
+// span. Times are integer nanoseconds since the trace's epoch.
+type spanRecord struct {
+	Trace     string `json:"trace"`
+	ID        string `json:"span"`
+	Parent    string `json:"parent"`
+	Service   string `json:"service"`
+	Cluster   string `json:"cluster"`
+	Class     string `json:"class"`
+	Method    string `json:"method,omitempty"`
+	Path      string `json:"path,omitempty"`
+	StartNS   int64  `json:"start_ns"`
+	EndNS     int64  `json:"end_ns"`
+	ReqBytes  int64  `json:"req_bytes,omitempty"`
+	RespBytes int64  `json:"resp_bytes,omitempty"`
+	Remote    bool   `json:"remote,omitempty"`
+}
+
+func toRecord(s telemetry.Span) spanRecord {
+	return spanRecord{
+		Trace:     strconv.FormatUint(uint64(s.Trace), 16),
+		ID:        strconv.FormatUint(uint64(s.ID), 16),
+		Parent:    strconv.FormatUint(uint64(s.Parent), 16),
+		Service:   s.Service,
+		Cluster:   s.Cluster,
+		Class:     s.Class,
+		Method:    s.Method,
+		Path:      s.Path,
+		StartNS:   int64(s.Start),
+		EndNS:     int64(s.End),
+		ReqBytes:  s.ReqBytes,
+		RespBytes: s.RespBytes,
+		Remote:    s.Remote,
+	}
+}
+
+func (r spanRecord) toSpan() (telemetry.Span, error) {
+	trace, err := strconv.ParseUint(r.Trace, 16, 64)
+	if err != nil {
+		return telemetry.Span{}, fmt.Errorf("obs: bad trace id %q: %w", r.Trace, err)
+	}
+	id, err := strconv.ParseUint(r.ID, 16, 64)
+	if err != nil {
+		return telemetry.Span{}, fmt.Errorf("obs: bad span id %q: %w", r.ID, err)
+	}
+	var parent uint64
+	if r.Parent != "" {
+		parent, err = strconv.ParseUint(r.Parent, 16, 64)
+		if err != nil {
+			return telemetry.Span{}, fmt.Errorf("obs: bad parent id %q: %w", r.Parent, err)
+		}
+	}
+	return telemetry.Span{
+		Trace:     telemetry.TraceID(trace),
+		ID:        telemetry.SpanID(id),
+		Parent:    telemetry.SpanID(parent),
+		Service:   r.Service,
+		Cluster:   r.Cluster,
+		Class:     r.Class,
+		Method:    r.Method,
+		Path:      r.Path,
+		Start:     time.Duration(r.StartNS),
+		End:       time.Duration(r.EndNS),
+		ReqBytes:  r.ReqBytes,
+		RespBytes: r.RespBytes,
+		Remote:    r.Remote,
+	}, nil
+}
+
+// SpanWriter streams telemetry spans to an io.Writer as JSONL, one span
+// per line — the export format slate-bench and slate-emul dump so
+// traces can be reconstructed offline (telemetry.BuildTree on the spans
+// of one trace ID). Safe for concurrent use.
+type SpanWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewSpanWriter returns a SpanWriter emitting to w. The caller owns w's
+// lifecycle (flush/close).
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	return &SpanWriter{w: w, enc: json.NewEncoder(w)}
+}
+
+// WriteSpan appends one span as a JSON line.
+func (sw *SpanWriter) WriteSpan(s telemetry.Span) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if err := sw.enc.Encode(toRecord(s)); err != nil {
+		return err
+	}
+	sw.n++
+	return nil
+}
+
+// WriteSpans appends a batch of spans, stopping at the first error.
+func (sw *SpanWriter) WriteSpans(spans []telemetry.Span) error {
+	for _, s := range spans {
+		if err := sw.WriteSpan(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns how many spans have been written.
+func (sw *SpanWriter) Count() int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.n
+}
+
+// ReadSpans parses a JSONL span dump back into spans. Blank lines are
+// skipped; a malformed line fails the whole read (a partial trace would
+// silently reconstruct wrong trees).
+func ReadSpans(r io.Reader) ([]telemetry.Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []telemetry.Span
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec spanRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("obs: span line %d: %w", line, err)
+		}
+		s, err := rec.toSpan()
+		if err != nil {
+			return nil, fmt.Errorf("obs: span line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GroupTraces buckets spans by trace ID, preserving input order within
+// each trace — the shape telemetry.BuildTree wants.
+func GroupTraces(spans []telemetry.Span) map[telemetry.TraceID][]telemetry.Span {
+	out := make(map[telemetry.TraceID][]telemetry.Span)
+	for _, s := range spans {
+		out[s.Trace] = append(out[s.Trace], s)
+	}
+	return out
+}

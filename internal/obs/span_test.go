@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/telemetry"
+)
+
+func demoTrace() []telemetry.Span {
+	return []telemetry.Span{
+		{Trace: 0xabc, ID: 1, Parent: 0, Service: "frontend", Cluster: "west",
+			Class: "checkout", Method: "POST", Path: "/cart", Start: 0,
+			End: 30 * time.Millisecond, ReqBytes: 100, RespBytes: 2048},
+		{Trace: 0xabc, ID: 2, Parent: 1, Service: "backend", Cluster: "east",
+			Class: "checkout", Method: "GET", Path: "/stock/:id",
+			Start: 5 * time.Millisecond, End: 20 * time.Millisecond,
+			ReqBytes: 64, RespBytes: 512, Remote: true},
+		{Trace: 0xabc, ID: 3, Parent: 1, Service: "backend", Cluster: "west",
+			Class: "checkout", Method: "GET", Path: "/price/:id",
+			Start: 6 * time.Millisecond, End: 12 * time.Millisecond},
+	}
+}
+
+func TestSpanWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSpanWriter(&buf)
+	spans := demoTrace()
+	if err := sw.WriteSpans(spans); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Count() != len(spans) {
+		t.Fatalf("Count = %d, want %d", sw.Count(), len(spans))
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(spans) {
+		t.Fatalf("JSONL must be one line per span, got %d lines:\n%s", got, buf.String())
+	}
+
+	back, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(spans) {
+		t.Fatalf("read %d spans, want %d", len(back), len(spans))
+	}
+	for i := range spans {
+		if back[i] != spans[i] {
+			t.Fatalf("span %d drifted through JSONL:\ngot  %+v\nwant %+v", i, back[i], spans[i])
+		}
+	}
+}
+
+// TestSpanDumpReconstructsTrace is the offline-analysis contract: a
+// JSONL dump groups back into traces whose call trees BuildTree can
+// reconstruct.
+func TestSpanDumpReconstructsTrace(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSpanWriter(&buf)
+	if err := sw.WriteSpans(demoTrace()); err != nil {
+		t.Fatal(err)
+	}
+	// A second, single-span trace interleaved in the same dump.
+	if err := sw.WriteSpan(telemetry.Span{Trace: 0xdef, ID: 9, Service: "frontend", Cluster: "east", Class: "browse"}); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTrace := GroupTraces(spans)
+	if len(byTrace) != 2 {
+		t.Fatalf("got %d traces, want 2", len(byTrace))
+	}
+	tree, err := telemetry.BuildTree(byTrace[0xabc])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.Span.Service != "frontend" || len(tree.Root.Children) != 2 {
+		t.Fatalf("reconstructed tree wrong: root %q with %d children",
+			tree.Root.Span.Service, len(tree.Root.Children))
+	}
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("unexpected orphans: %d", len(tree.Orphans))
+	}
+	if tree.EgressBytes() == 0 {
+		t.Fatal("remote hop must contribute egress bytes")
+	}
+}
+
+func TestReadSpansRejectsMalformedLine(t *testing.T) {
+	in := `{"trace":"abc","span":"1","parent":"0","service":"s","cluster":"c","class":"k","start_ns":0,"end_ns":1}
+not json
+`
+	if _, err := ReadSpans(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed line must fail the read")
+	}
+	// Bad hex IDs are rejected too.
+	in = `{"trace":"zz","span":"1","parent":"0","service":"s","cluster":"c","class":"k"}` + "\n"
+	if _, err := ReadSpans(strings.NewReader(in)); err == nil {
+		t.Fatal("non-hex trace id must fail the read")
+	}
+}

@@ -1,0 +1,145 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/servicelayernetworking/slate/internal/sim"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// randomWeights draws a weight map over up to 6 clusters. Roughly one
+// draw in five is deliberately invalid (negative, NaN, Inf, or all
+// zero) so the error path is exercised alongside the happy path.
+func randomWeights(rng *sim.RNG) map[topology.ClusterID]float64 {
+	n := 1 + rng.Intn(6)
+	m := make(map[topology.ClusterID]float64, n)
+	for i := 0; i < n; i++ {
+		c := topology.ClusterID(fmt.Sprintf("c%d", i))
+		switch rng.Intn(10) {
+		case 0:
+			m[c] = -rng.Float64()
+		case 1:
+			m[c] = math.NaN()
+		case 2:
+			m[c] = math.Inf(1)
+		case 3:
+			m[c] = 0
+		default:
+			m[c] = rng.Float64() * math.Pow(10, float64(rng.Intn(9)-4))
+		}
+	}
+	return m
+}
+
+func validWeights(m map[topology.ClusterID]float64) bool {
+	var sum float64
+	for _, w := range m {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return false
+		}
+		sum += w
+	}
+	return sum > 0 && !math.IsInf(sum, 0)
+}
+
+// TestNewDistributionProperties checks the Distribution invariants over
+// seeded random weight maps: NewDistribution accepts exactly the valid
+// inputs, and every accepted distribution has non-negative weights
+// summing to 1 with Pick always landing on a positive-weight cluster.
+func TestNewDistributionProperties(t *testing.T) {
+	rng := sim.NewRNG(20240805)
+	accepted, rejected := 0, 0
+	for trial := 0; trial < 2000; trial++ {
+		m := randomWeights(rng)
+		d, err := NewDistribution(m)
+		if validWeights(m) != (err == nil) {
+			t.Fatalf("trial %d: NewDistribution(%v) err=%v, valid=%v", trial, m, err, validWeights(m))
+		}
+		if err != nil {
+			rejected++
+			if !d.IsZero() {
+				t.Fatalf("trial %d: error path returned non-zero distribution %v", trial, d)
+			}
+			continue
+		}
+		accepted++
+
+		var sum float64
+		for _, c := range d.Clusters() {
+			w := d.Weight(c)
+			if w <= 0 || w > 1 {
+				t.Fatalf("trial %d: weight %v for %q out of (0, 1]", trial, w, c)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("trial %d: weights sum to %v, want 1 (input %v)", trial, sum, m)
+		}
+
+		// Pick must stay inside the support for any u in [0, 1).
+		members := make(map[topology.ClusterID]bool, len(d.Clusters()))
+		for _, c := range d.Clusters() {
+			members[c] = true
+		}
+		for draw := 0; draw < 20; draw++ {
+			u := rng.Float64()
+			if dst := d.Pick(u); !members[dst] {
+				t.Fatalf("trial %d: Pick(%v) = %q outside support %v", trial, u, dst, d.Clusters())
+			}
+		}
+		if dst := d.Pick(0); !members[dst] {
+			t.Fatalf("trial %d: Pick(0) = %q outside support", trial, dst)
+		}
+		// Guard against rounding at the top of the cumulative sum.
+		if dst := d.Pick(math.Nextafter(1, 0)); !members[dst] {
+			t.Fatalf("trial %d: Pick(1-ulp) = %q outside support", trial, dst)
+		}
+
+		// Weights() round-trips through NewDistribution to the same
+		// normalized values.
+		d2, err := NewDistribution(d.Weights())
+		if err != nil {
+			t.Fatalf("trial %d: re-normalizing failed: %v", trial, err)
+		}
+		for _, c := range d.Clusters() {
+			if math.Abs(d2.Weight(c)-d.Weight(c)) > 1e-12 {
+				t.Fatalf("trial %d: re-normalized weight for %q drifted: %v vs %v",
+					trial, c, d2.Weight(c), d.Weight(c))
+			}
+		}
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Fatalf("unbalanced trial mix: %d accepted, %d rejected", accepted, rejected)
+	}
+}
+
+// TestLocalInterningProperties checks that Local always routes 100% to
+// its argument and — after a warm-up call — is allocation-free for any
+// cluster ID, including ones never seen at table-build time.
+func TestLocalInterningProperties(t *testing.T) {
+	rng := sim.NewRNG(7)
+	ids := make([]topology.ClusterID, 32)
+	for i := range ids {
+		ids[i] = topology.ClusterID(fmt.Sprintf("rand-%d-%d", i, rng.Intn(1<<20)))
+	}
+	for _, c := range ids {
+		d := Local(c)
+		if got := d.Weight(c); got != 1 { //slate:nolint floatcmp -- interned constant, exact by construction
+			t.Fatalf("Local(%q).Weight = %v, want 1", c, got)
+		}
+		if dst := d.Pick(rng.Float64()); dst != c {
+			t.Fatalf("Local(%q).Pick = %q", c, dst)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		for _, c := range ids {
+			if Local(c).IsZero() {
+				t.Fatal("zero local distribution")
+			}
+		}
+	}); n != 0 { //slate:nolint floatcmp -- AllocsPerRun returns an integer-valued count
+		t.Fatalf("warm Local allocates %v per run, want 0", n)
+	}
+}

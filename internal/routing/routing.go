@@ -50,7 +50,10 @@ func NewDistribution(weights map[topology.ClusterID]float64) (Distribution, erro
 	var sum float64
 	for c, w := range weights {
 		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return d, fmt.Errorf("routing: invalid weight %v for cluster %q", w, c)
+			// Return the zero value, not the partially built d: a caller
+			// that ignores the error must get a distribution that routes
+			// nothing, never one with clusters but no weights.
+			return Distribution{}, fmt.Errorf("routing: invalid weight %v for cluster %q", w, c)
 		}
 		if w > 0 {
 			d.clusters = append(d.clusters, c)
@@ -58,7 +61,12 @@ func NewDistribution(weights map[topology.ClusterID]float64) (Distribution, erro
 		}
 	}
 	if sum <= 0 {
-		return d, fmt.Errorf("routing: distribution has no positive weights")
+		return Distribution{}, fmt.Errorf("routing: distribution has no positive weights")
+	}
+	if math.IsInf(sum, 0) {
+		// Individually finite weights can still overflow the sum, and
+		// normalizing by +Inf would zero every weight.
+		return Distribution{}, fmt.Errorf("routing: distribution weights overflow")
 	}
 	sort.Slice(d.clusters, func(i, j int) bool { return d.clusters[i] < d.clusters[j] })
 	d.weights = make([]float64, len(d.clusters))

@@ -19,6 +19,7 @@ import (
 	"github.com/servicelayernetworking/slate/internal/appgraph"
 	"github.com/servicelayernetworking/slate/internal/core"
 	"github.com/servicelayernetworking/slate/internal/fault"
+	"github.com/servicelayernetworking/slate/internal/obs"
 	"github.com/servicelayernetworking/slate/internal/routing"
 	"github.com/servicelayernetworking/slate/internal/sim"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
@@ -75,6 +76,17 @@ type Scenario struct {
 	// the unhardened baseline keeps following stale remote-routing rules
 	// through an outage.
 	RuleTTL time.Duration
+	// SpanSink, when non-nil, receives one trace span per post-warmup
+	// call-tree node, with deterministic trace/span IDs so the same seed
+	// dumps the same trace file (obs.SpanWriter satisfies this). Write
+	// errors abort span export for the rest of the run but not the run
+	// itself.
+	SpanSink SpanSink
+}
+
+// SpanSink receives exported trace spans (see obs.SpanWriter).
+type SpanSink interface {
+	WriteSpan(telemetry.Span) error
 }
 
 // Validate checks the scenario.
@@ -287,6 +299,16 @@ func Run(scn Scenario, pol Policy) (*Result, error) {
 			LocalServedRPS: make(map[topology.ClusterID]float64),
 		},
 	}
+	r.sink = scn.SpanSink
+	reg := obs.Default()
+	r.mDegraded = reg.Counter("slate_sim_degraded_calls_total",
+		"Simulated routing decisions that fell back to local-biased routing (rules past TTL).")
+	r.mMissed = reg.Counter("slate_sim_missed_ticks_total",
+		"Simulated control rounds skipped because the global controller was down.")
+	faults := reg.CounterVec("slate_fault_injected_total",
+		"Faults injected into control RPCs, by kind.", "kind")
+	r.mOutage = faults.With("outage")
+	r.mPartition = faults.With("partition")
 	for sid, svc := range scn.App.Services {
 		for c, pl := range svc.Placement {
 			if pl.Replicas <= 0 {
@@ -359,6 +381,8 @@ func Run(scn Scenario, pol Policy) (*Result, error) {
 				// The global controller is down: no optimization, no rule
 				// push — every cluster's rules age toward RuleTTL.
 				r.res.MissedTicks++
+				r.mMissed.Inc()
+				r.mOutage.Inc()
 			} else {
 				if tab, err := r.pol.Tick(merged, scn.ControlPeriod); err != nil {
 					r.res.PolicyErrors++
@@ -421,7 +445,25 @@ type runner struct {
 
 	remoteCalls, totalCalls uint64
 	localServed             map[topology.ClusterID]uint64
+
+	// Span export state. traceSeq/spanSeq allocate deterministic IDs so
+	// a seeded run always dumps the same trace file; sink goes nil after
+	// the first write error.
+	sink     SpanSink
+	traceSeq uint64
+	spanSeq  uint64
+
+	// Live observability counters (obs.Default()): the chaos experiment
+	// watches these move.
+	mDegraded  *obs.Counter
+	mMissed    *obs.Counter
+	mOutage    *obs.Counter
+	mPartition *obs.Counter
 }
+
+// nextTrace and nextSpan mint non-zero IDs (zero parent means root).
+func (r *runner) nextTrace() uint64 { r.traceSeq++; return r.traceSeq }
+func (r *runner) nextSpan() uint64  { r.spanSeq++; return r.spanSeq }
 
 // degradedAt reports whether cluster c's proxies have passed the rule
 // staleness TTL at now and must degrade to local-biased routing.
@@ -434,8 +476,9 @@ func (r *runner) degradedAt(c topology.ClusterID, now sim.Time) bool {
 
 // reqCtx carries per-request state through the call tree.
 type reqCtx struct {
-	crossed bool // any hop of this request went cross-cluster
-	failed  bool // a hop hit a partitioned cluster pair
+	crossed bool   // any hop of this request went cross-cluster
+	failed  bool   // a hop hit a partitioned cluster pair
+	trace   uint64 // exported trace ID (0 when span export is off)
 }
 
 // startRequest launches one root request of class at cluster.
@@ -443,7 +486,10 @@ func (r *runner) startRequest(k *sim.Kernel, class *appgraph.Class, arrival topo
 	start := k.Now()
 	afterWarmup := start.Duration() >= r.scn.Warmup
 	ctx := &reqCtx{}
-	r.executeNode(k, ctx, class, class.Root, arrival, arrival, afterWarmup, func(k *sim.Kernel) {
+	if r.sink != nil && afterWarmup {
+		ctx.trace = r.nextTrace()
+	}
+	r.executeNode(k, ctx, class, class.Root, arrival, arrival, afterWarmup, 0, func(k *sim.Kernel) {
 		if !afterWarmup {
 			return
 		}
@@ -472,7 +518,7 @@ func (r *runner) startRequest(k *sim.Kernel, class *appgraph.Class, arrival topo
 // executeNode runs one call node: route to a cluster, pay the network
 // delay, queue for service, then run children (sequentially or in
 // parallel), and finally pay the response network delay.
-func (r *runner) executeNode(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, node *appgraph.CallNode, src topology.ClusterID, pinned topology.ClusterID, measure bool, done func(*sim.Kernel)) {
+func (r *runner) executeNode(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, node *appgraph.CallNode, src topology.ClusterID, pinned topology.ClusterID, measure bool, parent uint64, done func(*sim.Kernel)) {
 	// Routing decision.
 	var dst topology.ClusterID
 	if node == class.Root {
@@ -485,6 +531,7 @@ func (r *runner) executeNode(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, 
 			// ladder). The pick draw is still consumed so fault-free
 			// prefixes of hardened/unhardened runs stay aligned.
 			r.res.DegradedCalls++
+			r.mDegraded.Inc()
 			d = routing.Local(src)
 		} else {
 			d = r.table.Lookup(string(node.Service), class.Name, src)
@@ -502,11 +549,44 @@ func (r *runner) executeNode(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, 
 		r.remoteCalls++
 		ctx.crossed = true
 	}
+
+	// Span export: one span per call node, closed when the node (and its
+	// subtree, and the response hop) completes. selfID doubles as the
+	// children's parent ID so the dump reconstructs the call tree.
+	selfID := parent
+	if r.sink != nil && ctx.trace != 0 {
+		selfID = r.nextSpan()
+		startAt := k.Now().Duration()
+		span := telemetry.Span{
+			Trace:     telemetry.TraceID(ctx.trace),
+			ID:        telemetry.SpanID(selfID),
+			Parent:    telemetry.SpanID(parent),
+			Service:   string(node.Service),
+			Cluster:   string(dst),
+			Class:     class.Name,
+			Start:     startAt,
+			ReqBytes:  node.Work.RequestBytes,
+			RespBytes: node.Work.ResponseBytes,
+			Remote:    remote,
+		}
+		inner := done
+		done = func(k *sim.Kernel) {
+			span.End = k.Now().Duration()
+			if r.sink != nil {
+				if err := r.sink.WriteSpan(span); err != nil {
+					r.sink = nil // stop exporting, keep simulating
+				}
+			}
+			inner(k)
+		}
+	}
+
 	if remote && r.scn.Faults.PartitionedAt(src, dst, k.Now().Duration()) {
 		// The inter-cluster link is cut: the call fast-fails after the
 		// one-way probe and the whole request counts as failed. The
 		// subtree never executes — exactly what a connection error does.
 		ctx.failed = true
+		r.mPartition.Inc()
 		k.After(r.scn.Top.OneWay(src, dst), done)
 		return
 	}
@@ -531,7 +611,7 @@ func (r *runner) executeNode(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, 
 						Cluster: string(dst),
 					}, sojourn, 0)
 				}
-				r.runChildren(k, ctx, class, node, dst, measure, func(k *sim.Kernel) {
+				r.runChildren(k, ctx, class, node, dst, measure, selfID, func(k *sim.Kernel) {
 					// Response travels back to the caller.
 					if remote {
 						if measure {
@@ -557,7 +637,7 @@ func (r *runner) executeNode(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, 
 // calls done. Each child call with Count > 1 repeats sequentially
 // within its own slot (parallel fan-out applies across children, not
 // within one child's repetitions).
-func (r *runner) runChildren(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, node *appgraph.CallNode, at topology.ClusterID, measure bool, done func(*sim.Kernel)) {
+func (r *runner) runChildren(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, node *appgraph.CallNode, at topology.ClusterID, measure bool, parent uint64, done func(*sim.Kernel)) {
 	children := node.Children
 	if len(children) == 0 {
 		done(k)
@@ -567,7 +647,7 @@ func (r *runner) runChildren(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, 
 		remaining := len(children)
 		for _, ch := range children {
 			ch := ch
-			r.repeatCall(k, ctx, class, ch, at, measure, ch.Count, func(k *sim.Kernel) {
+			r.repeatCall(k, ctx, class, ch, at, measure, parent, ch.Count, func(k *sim.Kernel) {
 				remaining--
 				if remaining == 0 {
 					done(k)
@@ -583,7 +663,7 @@ func (r *runner) runChildren(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, 
 			return
 		}
 		ch := children[idx]
-		r.repeatCall(k, ctx, class, ch, at, measure, ch.Count, func(k *sim.Kernel) {
+		r.repeatCall(k, ctx, class, ch, at, measure, parent, ch.Count, func(k *sim.Kernel) {
 			next(k, idx+1)
 		})
 	}
@@ -591,13 +671,13 @@ func (r *runner) runChildren(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, 
 }
 
 // repeatCall issues `count` sequential executions of a child node.
-func (r *runner) repeatCall(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, node *appgraph.CallNode, src topology.ClusterID, measure bool, count int, done func(*sim.Kernel)) {
+func (r *runner) repeatCall(k *sim.Kernel, ctx *reqCtx, class *appgraph.Class, node *appgraph.CallNode, src topology.ClusterID, measure bool, parent uint64, count int, done func(*sim.Kernel)) {
 	if count <= 0 {
 		done(k)
 		return
 	}
-	r.executeNode(k, ctx, class, node, src, src, measure, func(k *sim.Kernel) {
-		r.repeatCall(k, ctx, class, node, src, measure, count-1, done)
+	r.executeNode(k, ctx, class, node, src, src, measure, parent, func(k *sim.Kernel) {
+		r.repeatCall(k, ctx, class, node, src, measure, parent, count-1, done)
 	})
 }
 
