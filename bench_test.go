@@ -121,10 +121,15 @@ func BenchmarkBurstReaction(b *testing.B) {
 }
 
 // BenchmarkScalability regenerates the optimizer solve-time scaling
-// table (paper §5 "scalability & fast reaction").
+// table (paper §5 "scalability & fast reaction") plus the monolithic-
+// vs-decomposed control-loop comparison: steady-state tick latency and
+// control-plane bytes per tick at n clusters × n classes.
 func BenchmarkScalability(b *testing.B) {
 	runFigure(b, experiments.Scalability,
-		"solve_ms_at_12_clusters", "solve_ms_at_16_services", "solve_ms_at_16_classes")
+		"solve_ms_at_12_clusters", "solve_ms_at_16_services", "solve_ms_at_16_classes",
+		"tick_ms_monolithic_at_8x8", "tick_ms_decomposed_at_8x8",
+		"wire_bytes_monolithic_at_8x8", "wire_bytes_decomposed_at_8x8",
+		"subproblem_skip_rate_steady")
 }
 
 // BenchmarkAutoscalerInteraction regenerates the routing×autoscaling

@@ -8,6 +8,7 @@
 //	slatectl -scenario scenario.json -cost-weight 1e4 -json
 //	slatectl -scenario scenario.json -policy waterfall -threshold 0.8
 //	slatectl metrics 127.0.0.1:7000        # scrape a live daemon
+//	slatectl diff old-table.json new-table.json
 package main
 
 import (
@@ -25,12 +26,20 @@ import (
 	"github.com/servicelayernetworking/slate/internal/baseline"
 	"github.com/servicelayernetworking/slate/internal/core"
 	"github.com/servicelayernetworking/slate/internal/obs"
+	"github.com/servicelayernetworking/slate/internal/routing"
 	"github.com/servicelayernetworking/slate/internal/scenario"
+	"github.com/servicelayernetworking/slate/internal/topology"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "metrics" {
 		if err := scrapeMetrics(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		if err := diffTables(os.Stdout, os.Args[2:]); err != nil {
 			fatal(err)
 		}
 		return
@@ -146,6 +155,46 @@ func scrapeMetrics(args []string) error {
 	}
 	_, err = io.Copy(os.Stdout, resp.Body)
 	return err
+}
+
+// diffTables loads two routing-table JSON files (as emitted by
+// `slatectl -json` or the control-plane wire protocol) and prints a
+// human-readable routing.Diff (`slatectl diff <a.json> <b.json>`): one
+// line per changed rule with the per-cluster weight moves and the
+// fraction of that rule's traffic changing destination. It doubles as
+// the debugging tool for the patch-based rule distribution: diffing a
+// cluster's table before and after a patch shows what the patch did.
+func diffTables(w io.Writer, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: slatectl diff <table-a.json> <table-b.json>")
+	}
+	tabs := make([]*routing.Table, 2)
+	for i, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var t routing.Table
+		if err := json.Unmarshal(data, &t); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		tabs[i] = &t
+	}
+	deltas := routing.Diff(tabs[0], tabs[1])
+	fmt.Fprintf(w, "v%d -> v%d: %d rule(s) changed\n", tabs[0].Version, tabs[1].Version, len(deltas))
+	for _, d := range deltas {
+		ids := make([]topology.ClusterID, 0, len(d.Moves))
+		for c := range d.Moves {
+			ids = append(ids, c)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		var b strings.Builder
+		for _, c := range ids {
+			fmt.Fprintf(&b, "  %s %+.3f", c, d.Moves[c])
+		}
+		fmt.Fprintf(w, "  %-36s moved %5.1f%%:%s\n", d.Key.String(), d.TotalMove()*100, b.String())
+	}
+	return nil
 }
 
 func fatal(err error) {

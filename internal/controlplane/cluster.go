@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -53,6 +55,13 @@ type Cluster struct {
 	staleAfter time.Duration
 	last       []telemetry.WindowStats
 	table      *routing.Table
+	history    []*routing.Table // superseded tables, oldest first
+
+	// Delta-report state: the last window acked by the global, the
+	// report epoch, and whether the next upload must be a full resync.
+	lastReport []telemetry.WindowStats
+	epoch      uint64
+	needFull   bool
 
 	client *http.Client
 	now    func() time.Time
@@ -63,9 +72,16 @@ type Cluster struct {
 	mReports    *obs.Counter
 	mReportErrs *obs.Counter
 	mExcluded   *obs.Counter
+	mPatches    *obs.Counter
+	mPatchGaps  *obs.Counter
 	mMissing    *obs.Gauge
 	mTableVer   *obs.Gauge
 }
+
+// tableHistoryCap bounds how many superseded tables the controller
+// keeps to answer GET /v1/rules?since=N with a patch instead of a full
+// table. Pollers further behind get a full patch.
+const tableHistoryCap = 8
 
 // NewCluster returns a cluster controller reporting to globalURL (may
 // be empty for in-process wiring where the caller pumps telemetry
@@ -91,6 +107,10 @@ func NewCluster(id topology.ClusterID, globalURL string) *Cluster {
 			"Window reports that failed to reach the global controller.", "cluster").With(cl),
 		mExcluded: reg.CounterVec("slate_cluster_excluded_stale_windows_total",
 			"Pushed batches excluded from the global snapshot as stale.", "cluster").With(cl),
+		mPatches: reg.CounterVec("slate_cluster_patches_applied_total",
+			"Incremental rule patches applied.", "cluster").With(cl),
+		mPatchGaps: reg.CounterVec("slate_cluster_patch_gaps_total",
+			"Rule patches rejected for a version gap (answered 409).", "cluster").With(cl),
 		mMissing: reg.GaugeVec("slate_cluster_missing_proxies",
 			"Proxies silent past the staleness bound as of the last Collect.", "cluster").With(cl),
 		mTableVer: reg.GaugeVec("slate_cluster_table_version",
@@ -129,6 +149,7 @@ func (c *Cluster) AddProxy(p *dataplane.Proxy) {
 func (c *Cluster) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rules", c.handleRules)
+	mux.HandleFunc("POST /v1/patch", c.handlePatch)
 	mux.HandleFunc("GET /v1/rules", c.handleGetRules)
 	mux.HandleFunc("POST /v1/metrics", c.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", c.handleStats)
@@ -137,11 +158,45 @@ func (c *Cluster) Handler() http.Handler {
 	return mux
 }
 
-// handleGetRules serves the current table to out-of-process proxies
-// that poll for rules (in-process proxies get pushes via AddProxy).
-func (c *Cluster) handleGetRules(w http.ResponseWriter, _ *http.Request) {
+// handleGetRules serves routing rules to out-of-process proxies that
+// poll (in-process proxies get pushes via AddProxy). Without a query it
+// returns the full table; with ?since=N it returns a routing.Patch from
+// version N — empty when the poller is current, computed from the table
+// history when the base is still remembered, and a full patch
+// otherwise.
+func (c *Cluster) handleGetRules(w http.ResponseWriter, r *http.Request) {
+	sinceStr := r.URL.Query().Get("since")
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(c.Table())
+	if sinceStr == "" {
+		json.NewEncoder(w).Encode(c.Table())
+		return
+	}
+	since, err := strconv.ParseUint(sinceStr, 10, 64)
+	if err != nil {
+		http.Error(w, "since must be a table version", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	cur := c.table
+	var base *routing.Table
+	if since == cur.Version {
+		base = cur
+	} else {
+		for _, old := range c.history {
+			if old.Version == since {
+				base = old
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	var p *routing.Patch
+	if base != nil {
+		p = routing.MakePatch(base, cur)
+	} else {
+		p = routing.FullPatch(cur)
+	}
+	json.NewEncoder(w).Encode(p)
 }
 
 // handleMetrics accepts telemetry pushed by out-of-process proxies (the
@@ -225,6 +280,27 @@ func (c *Cluster) handleRules(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handlePatch applies an incremental rule push from the global
+// controller. A version gap (this controller restarted, or a push went
+// missing) answers 409, which makes the global resend a full patch.
+func (c *Cluster) handlePatch(w http.ResponseWriter, r *http.Request) {
+	var p routing.Patch
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := c.ApplyPatch(&p); err != nil {
+		if errors.Is(err, routing.ErrVersionGap) {
+			c.mPatchGaps.Inc()
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (c *Cluster) handleStats(w http.ResponseWriter, _ *http.Request) {
 	c.mu.Lock()
 	stats := c.last
@@ -236,12 +312,48 @@ func (c *Cluster) handleStats(w http.ResponseWriter, _ *http.Request) {
 // ApplyTable distributes a routing table to every registered proxy.
 func (c *Cluster) ApplyTable(t *routing.Table) {
 	c.mu.Lock()
+	c.recordHistory(c.table)
 	c.table = t
 	proxies := append([]*dataplane.Proxy(nil), c.proxies...)
 	c.mu.Unlock()
 	c.mTableVer.Set(float64(t.Version))
 	for _, p := range proxies {
 		p.SetTable(t)
+	}
+}
+
+// ApplyPatch applies an incremental rule push atomically: the new table
+// is built from the patch and, only if that succeeds, swapped in and
+// fanned out to every proxy. Even a no-op patch fans out — the push
+// confirms the table version and renews the proxies' staleness TTL.
+func (c *Cluster) ApplyPatch(p *routing.Patch) error {
+	c.mu.Lock()
+	next, err := c.table.Apply(p)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.recordHistory(c.table)
+	c.table = next
+	proxies := append([]*dataplane.Proxy(nil), c.proxies...)
+	c.mu.Unlock()
+	c.mPatches.Inc()
+	c.mTableVer.Set(float64(next.Version))
+	for _, pr := range proxies {
+		pr.SetTable(next)
+	}
+	return nil
+}
+
+// recordHistory remembers a superseded table (bounded ring) so
+// ?since=N polls can be answered with a patch. Caller holds c.mu.
+func (c *Cluster) recordHistory(old *routing.Table) {
+	if old == nil {
+		return
+	}
+	c.history = append(c.history, old)
+	if len(c.history) > tableHistoryCap {
+		c.history = c.history[len(c.history)-tableHistoryCap:]
 	}
 }
 
@@ -313,28 +425,56 @@ func (c *Cluster) Collect(window time.Duration) []telemetry.WindowStats {
 }
 
 // Report collects one window and uploads it to the global controller.
-// The context bounds the upload so a daemon shutdown cancels an
-// in-flight report instead of waiting out the HTTP timeout.
+// After the first (full) upload, reports are incremental: only the
+// (service, class) aggregates that changed beyond a small relative
+// epsilon cross the wire, with an epoch marker so the global can detect
+// gaps. Any failure — transport, or a 409 epoch-gap rejection — flags
+// the next report as a full resync, so the protocol self-heals without
+// coordination. The context bounds the upload so a daemon shutdown
+// cancels an in-flight report instead of waiting out the HTTP timeout.
 func (c *Cluster) Report(ctx context.Context, window time.Duration) error {
 	stats := c.Collect(window)
 	if c.globalURL == "" {
 		return nil
 	}
-	body, err := json.Marshal(MetricsReport{
+
+	c.mu.Lock()
+	c.epoch++
+	rep := MetricsReport{
 		Cluster:  c.id,
 		WindowMS: window.Milliseconds(),
-		Stats:    stats,
-	})
+		Epoch:    c.epoch,
+	}
+	if c.needFull || c.epoch == 1 {
+		rep.Stats = stats
+	} else {
+		rep.Delta = true
+		rep.Stats, rep.Removed = telemetry.DeltaReport(c.lastReport, stats, reportEpsilon)
+	}
+	c.mu.Unlock()
+
+	body, err := json.Marshal(rep)
 	if err != nil {
 		return err
 	}
 	if err := postJSON(ctx, c.client, c.globalURL+"/v1/metrics", body); err != nil {
+		c.mu.Lock()
+		c.needFull = true
+		c.mu.Unlock()
 		c.mReportErrs.Inc()
 		return fmt.Errorf("controlplane: report to global: %w", err)
 	}
+	c.mu.Lock()
+	c.needFull = false
+	c.lastReport = stats
+	c.mu.Unlock()
 	c.mReports.Inc()
 	return nil
 }
+
+// reportEpsilon is the relative change below which a telemetry
+// aggregate is considered unchanged and omitted from a delta report.
+const reportEpsilon = 1e-9
 
 // Register announces this cluster controller (reachable at selfURL) to
 // the global controller.
@@ -381,7 +521,24 @@ func postJSON(ctx context.Context, client *http.Client, url string, body []byte)
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("status %d", resp.StatusCode)
+		return statusError(resp.StatusCode)
 	}
 	return nil
+}
+
+// statusError is a non-2xx HTTP response, preserved as a typed error so
+// callers can branch on the code (409 → resync) without string
+// matching.
+type statusError int
+
+func (e statusError) Error() string { return fmt.Sprintf("status %d", int(e)) }
+
+// statusCode extracts the HTTP status from an error chain produced by
+// postJSON, reporting whether one was found.
+func statusCode(err error) (int, bool) {
+	var se statusError
+	if errors.As(err, &se) {
+		return int(se), true
+	}
+	return 0, false
 }

@@ -30,7 +30,7 @@ func fuzzGlobal(f *testing.F) (*Global, http.Handler) {
 
 // FuzzHandleMetrics feeds arbitrary bodies to the global controller's
 // telemetry ingest endpoint: it must never panic, and must answer only
-// 202 (decoded) or 400 (malformed).
+// 202 (decoded), 400 (malformed), or 409 (delta with an epoch gap).
 func FuzzHandleMetrics(f *testing.F) {
 	g, h := fuzzGlobal(f)
 	valid, err := json.Marshal(MetricsReport{
@@ -45,18 +45,23 @@ func FuzzHandleMetrics(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"cluster":"west","window_ms":-5,"stats":null}`))
 	f.Add([]byte(`{"stats":[{"key":{"service":"","class":"","cluster":""}}]}`))
+	f.Add([]byte(`{"cluster":"west","delta":true,"epoch":7,"stats":[]}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(``))
 	f.Fuzz(func(t *testing.T, body []byte) {
 		req := httptest.NewRequest(http.MethodPost, "/v1/metrics", bytes.NewReader(body))
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req)
-		if rec.Code != http.StatusAccepted && rec.Code != http.StatusBadRequest {
-			t.Fatalf("POST /v1/metrics(%q) = %d, want 202 or 400", body, rec.Code)
+		if rec.Code != http.StatusAccepted && rec.Code != http.StatusBadRequest && rec.Code != http.StatusConflict {
+			t.Fatalf("POST /v1/metrics(%q) = %d, want 202, 400, or 409", body, rec.Code)
 		}
-		g.mu.Lock()
-		g.pending = nil
-		g.mu.Unlock()
+		for i := range g.ingest {
+			st := &g.ingest[i]
+			st.mu.Lock()
+			clear(st.clusters)
+			st.mu.Unlock()
+		}
+		g.pendingClusters.Store(0)
 	})
 }
 

@@ -9,20 +9,34 @@
 // Wire protocol (JSON over HTTP):
 //
 //	POST global:/v1/register   {cluster, url}          cluster joins
-//	POST global:/v1/metrics    {cluster, window_ms, stats[]}
+//	POST global:/v1/metrics    {cluster, window_ms, stats[], delta?, epoch?, removed?}
 //	POST global:/v1/optimize   {}                      force a tick
 //	GET  global:/v1/table                              current rules
 //	GET  global:/v1/status                             demand, version
-//	POST cluster:/v1/rules     routing.Table           rule push
+//	POST cluster:/v1/patch     routing.Patch           incremental rule push
+//	POST cluster:/v1/rules     routing.Table           full rule push (legacy)
+//	GET  cluster:/v1/rules[?since=N]                   table, or patch since version N
 //	GET  cluster:/v1/stats                             local window peek
+//
+// Rule distribution is incremental: the global controller keeps a
+// per-cluster shadow of the last acknowledged table slice and pushes
+// only the changed rules (routing.Patch) to each cluster, concurrently
+// with bounded parallelism. A cluster that answers 409 (version gap —
+// e.g. it restarted) is resynced with a full patch. Telemetry ingest is
+// likewise incremental: cluster controllers upload only changed
+// (service, class) aggregates with a monotonically increasing epoch;
+// an epoch gap makes the global answer 409, which tells the cluster to
+// fall back to a full report.
 package controlplane
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/core"
@@ -32,11 +46,23 @@ import (
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
 
-// MetricsReport is one cluster controller's telemetry upload.
+// MetricsReport is one cluster controller's telemetry upload. A full
+// report (Delta false) carries the complete window and resets the
+// cluster's state at the global; a delta report carries only the stats
+// that changed since the previous epoch plus the keys that disappeared.
 type MetricsReport struct {
 	Cluster  topology.ClusterID      `json:"cluster"`
 	WindowMS int64                   `json:"window_ms"`
 	Stats    []telemetry.WindowStats `json:"stats"`
+	// Delta marks an incremental report: Stats holds only changed
+	// aggregates; Removed lists keys absent since the previous epoch.
+	Delta bool `json:"delta,omitempty"`
+	// Epoch orders reports from one cluster. A delta is only accepted
+	// when its epoch is exactly the successor of the last applied one;
+	// otherwise the global answers 409 and the cluster resyncs with a
+	// full report. Full reports set the epoch unconditionally.
+	Epoch   uint64                `json:"epoch,omitempty"`
+	Removed []telemetry.MetricKey `json:"removed,omitempty"`
 }
 
 // RegisterRequest announces a cluster controller to the global
@@ -56,18 +82,52 @@ type Status struct {
 	LastError    string                                    `json:"last_error,omitempty"`
 }
 
+// ingestStripes is the number of lock stripes sharding the telemetry
+// ingest map, so concurrent cluster uploads do not serialize on one
+// mutex.
+const ingestStripes = 16
+
+// pushParallelism bounds the concurrent rule pushes per tick: enough to
+// overlap slow peers, small enough not to stampede the network.
+const pushParallelism = 8
+
+// clusterIngest is the global controller's telemetry state for one
+// cluster: the reconstructed full window (deltas folded in) and the
+// epoch of the last applied report.
+type clusterIngest struct {
+	epoch    uint64
+	stats    map[telemetry.MetricKey]telemetry.WindowStats
+	reported bool // reported since the last tick merged this cluster
+}
+
+// ingestStripe is one lock stripe of the sharded ingest map.
+type ingestStripe struct {
+	mu       sync.Mutex
+	clusters map[topology.ClusterID]*clusterIngest
+}
+
 // Global is the Global Controller daemon: an HTTP API around
-// core.Controller plus rule push-down to registered cluster
+// core.Controller plus incremental rule push-down to registered cluster
 // controllers.
 type Global struct {
 	mu       sync.Mutex
 	ctrl     *core.Controller
 	clusters map[topology.ClusterID]string // cluster -> cluster-controller URL
-	pending  [][]telemetry.WindowStats
 	window   time.Duration
 	ticks    uint64
 	lastErr  string
 	client   *http.Client
+
+	ingest          [ingestStripes]ingestStripe
+	pendingClusters atomic.Int64 // clusters reported since the last tick
+
+	// pushSem (capacity 1) serializes whole push rounds — a semaphore
+	// rather than a mutex because a round blocks on the fan-out's
+	// WaitGroup; sentMu guards the per-cluster shadow of the last
+	// acknowledged table slice within a round.
+	pushSem chan struct{}
+	sentMu  sync.Mutex
+	sent    map[topology.ClusterID]*routing.Table
 
 	metricsH     http.Handler
 	mTicks       *obs.Counter
@@ -76,21 +136,30 @@ type Global struct {
 	mPushErrs    *obs.Counter
 	mReports     *obs.Counter
 	mReportErrs  *obs.Counter
+	mEpochGaps   *obs.Counter
 	mTableVer    *obs.Gauge
 	mIterHolds   *obs.Gauge
 	mReverts     *obs.Gauge
 	mWarmSolves  *obs.Gauge
 	mColdSolves  *obs.Gauge
+	mShards      *obs.Gauge
+	mSubSolves   *obs.Gauge
+	mSkipSolves  *obs.Gauge
 	mStaleGroups *obs.Gauge
+	mPushDur     *obs.HistogramVec
+	mPatchBytes  *obs.CounterVec
+	mResyncs     *obs.CounterVec
 }
 
 // NewGlobal wraps a core controller as a daemon, instrumenting into
 // obs.Default().
 func NewGlobal(ctrl *core.Controller) *Global {
 	reg := obs.Default()
-	return &Global{
+	g := &Global{
 		ctrl:     ctrl,
 		clusters: make(map[topology.ClusterID]string),
+		pushSem:  make(chan struct{}, 1),
+		sent:     make(map[topology.ClusterID]*routing.Table),
 		client:   &http.Client{Timeout: 10 * time.Second},
 		metricsH: reg.Handler(),
 		mTicks: reg.Counter("slate_global_ticks_total",
@@ -105,6 +174,8 @@ func NewGlobal(ctrl *core.Controller) *Global {
 			"Telemetry reports accepted from cluster controllers."),
 		mReportErrs: reg.Counter("slate_global_report_errors_total",
 			"Telemetry reports rejected as malformed."),
+		mEpochGaps: reg.Counter("slate_global_report_epoch_gaps_total",
+			"Delta telemetry reports rejected for an epoch gap (cluster must resync)."),
 		mTableVer: reg.Gauge("slate_global_table_version",
 			"Version of the routing table currently published."),
 		mIterHolds: reg.Gauge("slate_global_iter_limit_holds",
@@ -115,9 +186,32 @@ func NewGlobal(ctrl *core.Controller) *Global {
 			"Cumulative LP solves that reused the previous basis."),
 		mColdSolves: reg.Gauge("slate_global_lp_cold_solves",
 			"Cumulative LP solves from scratch."),
+		mShards: reg.Gauge("slate_global_subproblems",
+			"Independent optimizer subproblems (0 when running monolithic)."),
+		mSubSolves: reg.Gauge("slate_global_subproblem_solves",
+			"Cumulative decomposed subproblem solves actually run."),
+		mSkipSolves: reg.Gauge("slate_global_subproblem_skips",
+			"Cumulative subproblem solves skipped because inputs were unchanged."),
 		mStaleGroups: reg.Gauge("slate_global_pending_reports",
-			"Telemetry report groups waiting to be merged at the next tick."),
+			"Clusters that reported telemetry not yet merged by a tick."),
+		mPushDur: reg.HistogramVec("slate_global_push_seconds",
+			"Wall time of one rule push to a cluster controller.", nil, "cluster"),
+		mPatchBytes: reg.CounterVec("slate_global_patch_bytes_total",
+			"Rule-push payload bytes sent, by destination cluster.", "cluster"),
+		mResyncs: reg.CounterVec("slate_global_push_resyncs_total",
+			"Rule pushes that fell back to a full-table resync after a version gap.", "cluster"),
 	}
+	for i := range g.ingest {
+		g.ingest[i].clusters = make(map[topology.ClusterID]*clusterIngest)
+	}
+	return g
+}
+
+// stripe returns the ingest lock stripe owning a cluster's telemetry.
+func (g *Global) stripe(c topology.ClusterID) *ingestStripe {
+	h := fnv.New32a()
+	h.Write([]byte(c))
+	return &g.ingest[h.Sum32()%ingestStripes]
 }
 
 // SetTransport swaps the HTTP transport used for rule pushes (fault
@@ -154,6 +248,11 @@ func (g *Global) handleRegister(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleMetrics ingests one telemetry report into the cluster's striped
+// state map. Full reports replace the cluster's window outright; delta
+// reports fold changed stats in and delete removed keys, but only when
+// their epoch is the exact successor of the last applied one — any gap
+// (lost report, global restart) gets 409 so the cluster resyncs.
 func (g *Global) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var rep MetricsReport
 	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
@@ -161,15 +260,76 @@ func (g *Global) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	g.mu.Lock()
-	g.pending = append(g.pending, rep.Stats)
 	if rep.WindowMS > 0 {
+		g.mu.Lock()
 		g.window = time.Duration(rep.WindowMS) * time.Millisecond
+		g.mu.Unlock()
 	}
-	g.mStaleGroups.Set(float64(len(g.pending)))
-	g.mu.Unlock()
+	st := g.stripe(rep.Cluster)
+	st.mu.Lock()
+	ci := st.clusters[rep.Cluster]
+	if rep.Delta {
+		if ci == nil || rep.Epoch != ci.epoch+1 {
+			st.mu.Unlock()
+			g.mEpochGaps.Inc()
+			http.Error(w, "epoch gap: full report required", http.StatusConflict)
+			return
+		}
+		for _, ws := range rep.Stats {
+			ci.stats[ws.Key] = ws
+		}
+		for _, k := range rep.Removed {
+			delete(ci.stats, k)
+		}
+		ci.epoch = rep.Epoch
+	} else {
+		next := &clusterIngest{
+			epoch: rep.Epoch,
+			stats: make(map[telemetry.MetricKey]telemetry.WindowStats, len(rep.Stats)),
+		}
+		for _, ws := range rep.Stats {
+			next.stats[ws.Key] = ws
+		}
+		if ci != nil {
+			next.reported = ci.reported
+		}
+		st.clusters[rep.Cluster] = next
+		ci = next
+	}
+	if !ci.reported {
+		ci.reported = true
+		g.mStaleGroups.Set(float64(g.pendingClusters.Add(1)))
+	}
+	st.mu.Unlock()
 	g.mReports.Inc()
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// snapshotIngest collects the reconstructed windows of every cluster
+// that reported since the last tick and clears the reported marks.
+// State maps are retained so the next delta has a base; clusters that
+// stay silent simply contribute nothing, which lets the controller's
+// demand estimate decay exactly as it did with full fan-in.
+func (g *Global) snapshotIngest() [][]telemetry.WindowStats {
+	var groups [][]telemetry.WindowStats
+	for i := range g.ingest {
+		st := &g.ingest[i]
+		st.mu.Lock()
+		for _, ci := range st.clusters {
+			if !ci.reported {
+				continue
+			}
+			ci.reported = false
+			group := make([]telemetry.WindowStats, 0, len(ci.stats))
+			for _, ws := range ci.stats {
+				group = append(group, ws)
+			}
+			groups = append(groups, group)
+		}
+		st.mu.Unlock()
+	}
+	g.pendingClusters.Store(0)
+	return groups
 }
 
 func (g *Global) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -205,15 +365,15 @@ func (g *Global) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(st)
 }
 
-// Tick merges pending telemetry, runs one optimization round, and
-// pushes the resulting table to every registered cluster controller.
-// The context bounds the rule pushes so shutdown (or a cancelled
-// /v1/optimize request) does not hang on a wedged cluster controller.
+// Tick merges the telemetry reported since the last tick, runs one
+// optimization round, and pushes rule patches to every registered
+// cluster controller. The context bounds the rule pushes so shutdown
+// (or a cancelled /v1/optimize request) does not hang on a wedged
+// cluster controller.
 func (g *Global) Tick(ctx context.Context) error {
 	start := time.Now()
+	groups := g.snapshotIngest()
 	g.mu.Lock()
-	groups := g.pending
-	g.pending = nil
 	window := g.window
 	if window == 0 {
 		window = time.Second
@@ -236,7 +396,10 @@ func (g *Global) Tick(ctx context.Context) error {
 	solves := g.ctrl.OptimizerStats()
 	g.mWarmSolves.Set(float64(solves.WarmSolves))
 	g.mColdSolves.Set(float64(solves.ColdSolves))
-	g.mStaleGroups.Set(0)
+	g.mShards.Set(float64(solves.Shards))
+	g.mSubSolves.Set(float64(solves.SubSolves))
+	g.mSkipSolves.Set(float64(solves.SkippedSolves))
+	g.mStaleGroups.Set(float64(g.pendingClusters.Load()))
 	g.mu.Unlock()
 
 	g.mTicks.Inc()
@@ -253,20 +416,96 @@ func (g *Global) Tick(ctx context.Context) error {
 	return pushErr
 }
 
+// push distributes the table incrementally: for each cluster it diffs
+// the cluster's slice of the table against the last acknowledged push
+// and sends only the changed rules, fanning out concurrently with
+// bounded parallelism so one slow peer does not stall the rest. An
+// empty patch is still sent — it confirms the table version and renews
+// the proxies' staleness TTL downstream. A 409 from the cluster
+// (version gap: it restarted or missed a push) triggers an immediate
+// full-table resync.
 func (g *Global) push(ctx context.Context, table *routing.Table, targets map[topology.ClusterID]string) error {
-	body, err := json.Marshal(table)
+	g.pushSem <- struct{}{}
+	defer func() { <-g.pushSem }()
+
+	sem := make(chan struct{}, pushParallelism)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for c, u := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c topology.ClusterID, u string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := g.pushOne(ctx, c, u, table); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("push to %s: %w", c, err)
+				}
+				errMu.Unlock()
+			}
+		}(c, u)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// pushOne sends one cluster its rule patch, resyncing with a full patch
+// on a version gap. The shadow of what the cluster acknowledged only
+// advances on success, so a failed push is retried as a (larger) patch
+// next tick.
+func (g *Global) pushOne(ctx context.Context, c topology.ClusterID, u string, table *routing.Table) error {
+	start := time.Now()
+	defer func() {
+		g.mPushDur.With(string(c)).Observe(time.Since(start).Seconds())
+	}()
+
+	desired := table.Restrict(c)
+	g.sentMu.Lock()
+	prev := g.sent[c]
+	g.sentMu.Unlock()
+
+	patch := routing.MakePatch(prev, desired)
+	if err := g.postPatch(ctx, c, u, patch); err != nil {
+		code, ok := statusCode(err)
+		switch {
+		case ok && code == http.StatusConflict:
+			// The cluster is not at the version we believe it is (it
+			// restarted, or a push went missing): resync in full.
+			g.mResyncs.With(string(c)).Inc()
+			if err := g.postPatch(ctx, c, u, routing.FullPatch(desired)); err != nil {
+				return err
+			}
+		case ok && (code == http.StatusNotFound || code == http.StatusMethodNotAllowed):
+			// Pre-patch peer (rolling upgrade): fall back to the legacy
+			// full-table push.
+			body, err := json.Marshal(desired)
+			if err != nil {
+				return err
+			}
+			g.mPatchBytes.With(string(c)).Add(uint64(len(body)))
+			if err := postJSON(ctx, g.client, u+"/v1/rules", body); err != nil {
+				return err
+			}
+		default:
+			return err
+		}
+	}
+	g.sentMu.Lock()
+	g.sent[c] = desired
+	g.sentMu.Unlock()
+	return nil
+}
+
+// postPatch marshals and posts one patch, accounting its wire bytes.
+func (g *Global) postPatch(ctx context.Context, c topology.ClusterID, u string, p *routing.Patch) error {
+	body, err := json.Marshal(p)
 	if err != nil {
 		return err
 	}
-	var firstErr error
-	for c, u := range targets {
-		if err := postJSON(ctx, g.client, u+"/v1/rules", body); err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("push to %s: %w", c, err)
-			}
-		}
-	}
-	return firstErr
+	g.mPatchBytes.With(string(c)).Add(uint64(len(body)))
+	return postJSON(ctx, g.client, u+"/v1/patch", body)
 }
 
 // Run ticks the controller every period until the context is cancelled.

@@ -36,6 +36,23 @@ type ControllerConfig struct {
 	// GuardTolerance is the relative degradation that triggers rollback
 	// (default 0.15).
 	GuardTolerance float64
+	// Decompose replaces the monolithic optimizer with a
+	// ShardedOptimizer: independent (call-graph component × class)
+	// subproblems, each warm-started and skipped entirely when its
+	// telemetry inputs are unchanged within SkipEpsilon.
+	Decompose bool
+	// SkipEpsilon is the relative input-change threshold below which a
+	// decomposed subproblem reuses its previous solution (default
+	// DefaultSkipEpsilon). Only used with Decompose.
+	SkipEpsilon float64
+}
+
+// planner is the optimizer interface the controller drives: the
+// monolithic Optimizer and the decomposed ShardedOptimizer both satisfy
+// it, producing equivalent plans (differential-tested).
+type planner interface {
+	Optimize(demand Demand, profiles Profiles, version uint64) (*Plan, error)
+	Stats() OptimizerStats
 }
 
 // Controller is SLATE's global controller: it ingests telemetry windows,
@@ -52,7 +69,7 @@ type Controller struct {
 	profs   Profiles
 	history *SampleHistory
 	demand  Demand
-	opt     *Optimizer
+	opt     planner
 
 	cur     *routing.Table
 	prev    *routing.Table
@@ -77,6 +94,10 @@ func NewController(top *topology.Topology, app *appgraph.App, cfg ControllerConf
 	if cfg.GuardTolerance <= 0 {
 		cfg.GuardTolerance = 0.15
 	}
+	var opt planner = NewOptimizer(top, app, cfg.Optimizer)
+	if cfg.Decompose {
+		opt = NewShardedOptimizer(top, app, cfg.Optimizer, cfg.SkipEpsilon)
+	}
 	return &Controller{
 		cfg:     cfg,
 		top:     top,
@@ -84,7 +105,7 @@ func NewController(top *topology.Topology, app *appgraph.App, cfg ControllerConf
 		profs:   DefaultProfiles(app, top, Demand{}),
 		history: NewSampleHistory(0),
 		demand:  Demand{},
-		opt:     NewOptimizer(top, app, cfg.Optimizer),
+		opt:     opt,
 		cur:     routing.EmptyTable(),
 	}, nil
 }

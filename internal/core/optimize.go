@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/appgraph"
@@ -294,9 +295,20 @@ func buildFormulation(top *topology.Topology, app *appgraph.App, cfg Config, dem
 		}
 	}
 
-	// Pool load linking and PWL delay segments.
+	// Pool load linking and PWL delay segments. Services are visited in
+	// sorted order so the LP's column order — and hence which optimal
+	// vertex a degenerate solve lands on — is a deterministic function
+	// of the problem, not of map iteration. The sharded optimizer's
+	// differential tests rely on this: a sub-formulation built from an
+	// equal service set must be the same LP as the monolithic one.
 	f.poolIdx = make(map[PoolKey]*poolRef)
-	for sid, svc := range app.Services {
+	sortedSids := make([]appgraph.ServiceID, 0, len(app.Services))
+	for sid := range app.Services {
+		sortedSids = append(sortedSids, sid)
+	}
+	sort.Slice(sortedSids, func(i, j int) bool { return sortedSids[i] < sortedSids[j] })
+	for _, sid := range sortedSids {
+		svc := app.Services[sid]
 		for _, c := range svc.Clusters(top) {
 			key := PoolKey{Service: sid, Cluster: c}
 			prof, ok := profiles.Get(sid, c)
@@ -387,7 +399,14 @@ func buildFormulation(top *topology.Topology, app *appgraph.App, cfg Config, dem
 		for sd := range f.flow[ni] {
 			bySrc[sd.i] = append(bySrc[sd.i], sd)
 		}
-		for i, sds := range bySrc {
+		srcs := make([]int, 0, len(bySrc))
+		for i := range bySrc {
+			srcs = append(srcs, i)
+		}
+		sort.Ints(srcs)
+		for _, i := range srcs {
+			sds := bySrc[i]
+			sort.Slice(sds, func(a, b int) bool { return sds[a].j < sds[b].j })
 			if len(sds) < 2 {
 				continue // only one possible destination: nothing to pin
 			}

@@ -43,6 +43,15 @@ type OptimizerStats struct {
 	// ColdSolves counts solves from scratch (first tick, basis gone
 	// stale, or MILP path).
 	ColdSolves uint64
+	// Shards is the number of independent subproblems the app
+	// decomposed into (0 for the monolithic Optimizer).
+	Shards uint64
+	// SubSolves counts subproblem solves actually run by a
+	// ShardedOptimizer.
+	SubSolves uint64
+	// SkippedSolves counts subproblem solves skipped because the
+	// shard's inputs were unchanged within epsilon.
+	SkippedSolves uint64
 }
 
 // NewOptimizer returns an Optimizer for a fixed topology, app, and

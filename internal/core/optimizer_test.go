@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -81,9 +82,22 @@ func TestOptimizerMatchesStatelessAcrossDemandDrift(t *testing.T) {
 		// steady-state regime warm starts are built for. (Larger jumps
 		// routinely push the previous basis primal-infeasible, which is
 		// the designed cold-fallback path, not the one under test.)
-		for _, per := range demand {
-			for c, v := range per {
-				per[c] = v * (0.98 + 0.04*rng.Float64())
+		// Iterate in sorted order so the walk consumes the seeded RNG
+		// deterministically — map order would make the test flaky.
+		classes := make([]string, 0, len(demand))
+		for class := range demand {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			per := demand[class]
+			ids := make([]topology.ClusterID, 0, len(per))
+			for c := range per {
+				ids = append(ids, c)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, c := range ids {
+				per[c] *= 0.98 + 0.04*rng.Float64()
 			}
 		}
 	}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/queuemodel"
+	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/topology"
+)
+
+// ShardedOptimizer decomposes the routing problem into independent
+// subproblems — one per connected component of the (call-graph × traffic
+// class) coupling graph — and solves each with its own warm-started
+// Optimizer. Two classes couple iff their call trees share a service at
+// a non-root position: root nodes are pinned to the arrival cluster
+// (x[root][i][i] = demand, a constant), so constant root load on the
+// shared frontend only shifts every feasible point's objective by the
+// same amount and never changes a shard's argmin. If some class calls
+// the frontend service at a non-root position its variable load would
+// land on top of other classes' constant root load at a different point
+// of the PWL delay curve, so the partition falls back to a single shard
+// (exactness over speed).
+//
+// Dirty-tracking: each shard fingerprints its inputs (its classes'
+// demand plus its pools' profiles); when a tick's fingerprint matches
+// the last solved one within epsilon, the shard's cached sub-plan is
+// reused and the solve is skipped entirely.
+//
+// Not safe for concurrent use.
+type ShardedOptimizer struct {
+	top     *topology.Topology
+	app     *appgraph.App
+	cfg     Config // normalized
+	skipEps float64
+	shards  []*shard
+	single  bool // fell back to one shard (frontend called at a non-root position)
+	stats   OptimizerStats
+}
+
+// shard is one independent subproblem: a subset of classes, the
+// sub-graph of services they touch (plus the shared frontend), and a
+// dedicated warm-started optimizer with input fingerprinting.
+type shard struct {
+	classes []*appgraph.Class
+	app     *appgraph.App
+	opt     *Optimizer
+	fp      []float64 // inputs of the last successful solve
+	plan    *Plan     // result of the last successful solve
+}
+
+// DefaultSkipEpsilon is the relative input-change threshold below which
+// a shard's previous solution is reused without re-solving.
+const DefaultSkipEpsilon = 1e-9
+
+// NewShardedOptimizer partitions the app into subproblems. skipEps <= 0
+// uses DefaultSkipEpsilon. The partition depends only on the app's call
+// trees, so it is computed once.
+func NewShardedOptimizer(top *topology.Topology, app *appgraph.App, cfg Config, skipEps float64) *ShardedOptimizer {
+	if skipEps <= 0 {
+		skipEps = DefaultSkipEpsilon
+	}
+	s := &ShardedOptimizer{top: top, app: app, cfg: cfg.normalized(), skipEps: skipEps}
+	s.partition()
+	return s
+}
+
+// varServices returns the services a class touches at non-root call
+// nodes — the services whose pool load the optimizer can actually move.
+func varServices(cl *appgraph.Class) map[appgraph.ServiceID]bool {
+	out := make(map[appgraph.ServiceID]bool)
+	for _, ch := range cl.Root.Children {
+		ch.Walk(func(n *appgraph.CallNode) { out[n.Service] = true })
+	}
+	return out
+}
+
+func (s *ShardedOptimizer) partition() {
+	frontend := s.app.FrontendService()
+	vars := make([]map[appgraph.ServiceID]bool, len(s.app.Classes))
+	for i, cl := range s.app.Classes {
+		vars[i] = varServices(cl)
+		if vars[i][frontend] {
+			// Variable frontend load couples every class through the
+			// frontend pool's PWL delay curve: decomposing would be inexact.
+			s.single = true
+		}
+	}
+	if s.single || len(s.app.Classes) <= 1 {
+		// Fall back to the untouched app (not a rebuilt sub-app) so the
+		// formulation is exactly the monolithic one.
+		s.shards = []*shard{{
+			classes: s.app.Classes,
+			app:     s.app,
+			opt:     NewOptimizer(s.top, s.app, s.cfg),
+		}}
+		s.stats.Shards = 1
+		return
+	}
+
+	// Union-find over classes: same component iff var-service sets meet.
+	parent := make([]int, len(s.app.Classes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	for i := range vars {
+		for j := i + 1; j < len(vars); j++ {
+			for svc := range vars[i] {
+				if vars[j][svc] {
+					parent[find(j)] = find(i)
+					break
+				}
+			}
+		}
+	}
+	groups := make(map[int][]*appgraph.Class)
+	var order []int
+	for i, cl := range s.app.Classes {
+		r := find(i)
+		if groups[r] == nil {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], cl)
+	}
+	for _, r := range order {
+		s.shards = append(s.shards, s.newShard(groups[r]))
+	}
+	s.stats.Shards = uint64(len(s.shards))
+}
+
+// newShard builds the sub-app for a class group: the shared frontend
+// plus every service the group's call trees touch, sharing *Service
+// values with the parent app (placements are read-only).
+func (s *ShardedOptimizer) newShard(classes []*appgraph.Class) *shard {
+	services := make(map[appgraph.ServiceID]*appgraph.Service)
+	for _, cl := range classes {
+		cl.Root.Walk(func(n *appgraph.CallNode) {
+			services[n.Service] = s.app.Services[n.Service]
+		})
+	}
+	cfg := s.cfg
+	cfg.PinClasses = nil
+	for _, p := range s.cfg.PinClasses {
+		for _, cl := range classes {
+			if cl.Name == p {
+				cfg.PinClasses = append(cfg.PinClasses, p)
+			}
+		}
+	}
+	sub := &appgraph.App{
+		Name:     s.app.Name,
+		Services: services,
+		Classes:  classes,
+	}
+	return &shard{classes: classes, app: sub, opt: NewOptimizer(s.top, sub, cfg)}
+}
+
+// Stats reports cumulative solve counters, aggregated over shards.
+func (s *ShardedOptimizer) Stats() OptimizerStats {
+	out := s.stats
+	for _, sh := range s.shards {
+		st := sh.opt.Stats()
+		out.Builds += st.Builds
+		out.WarmSolves += st.WarmSolves
+		out.ColdSolves += st.ColdSolves
+	}
+	return out
+}
+
+// Shards reports how many independent subproblems the app decomposed
+// into (1 means the partition fell back to the monolithic problem).
+func (s *ShardedOptimizer) Shards() int { return len(s.shards) }
+
+// Optimize solves every dirty subproblem and merges the sub-plans into
+// one versioned plan. Subproblems whose inputs are unchanged within
+// epsilon reuse their cached sub-plan without solving.
+func (s *ShardedOptimizer) Optimize(demand Demand, profiles Profiles, version uint64) (*Plan, error) {
+	if !s.single && len(s.shards) > 1 {
+		if err := s.checkFrontendCapacity(demand, profiles); err != nil {
+			return nil, err
+		}
+	}
+	plans := make([]*Plan, len(s.shards))
+	for i, sh := range s.shards {
+		fp := s.fingerprint(sh, demand, profiles)
+		if sh.plan != nil && fingerprintsEqual(sh.fp, fp, s.skipEps) {
+			s.stats.SkippedSolves++
+			plans[i] = sh.plan
+			continue
+		}
+		plan, err := sh.opt.Optimize(demand, profiles, version)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.SubSolves++
+		sh.fp = fp
+		sh.plan = plan
+		plans[i] = plan
+	}
+	return s.merge(plans, profiles, version), nil
+}
+
+// fingerprint captures a shard's solve inputs as a flat float vector in
+// deterministic order: per-class demand by cluster, then per-pool
+// profile parameters. The queueing model is an interface, so it is
+// probed numerically (capacity and mid-load sojourn characterize every
+// model in queuemodel within the skip epsilon's resolution).
+func (s *ShardedOptimizer) fingerprint(sh *shard, demand Demand, profiles Profiles) []float64 {
+	clusters := s.top.ClusterIDs()
+	fp := make([]float64, 0, len(sh.classes)*len(clusters)+4*len(sh.app.Services)*len(clusters))
+	for _, cl := range sh.classes {
+		for _, c := range clusters {
+			fp = append(fp, demand[cl.Name][c])
+		}
+	}
+	sids := make([]string, 0, len(sh.app.Services))
+	for sid := range sh.app.Services {
+		sids = append(sids, string(sid))
+	}
+	sort.Strings(sids)
+	for _, sid := range sids {
+		svc := sh.app.Services[appgraph.ServiceID(sid)]
+		for _, c := range svc.Clusters(s.top) {
+			prof, ok := profiles.Get(appgraph.ServiceID(sid), c)
+			if !ok {
+				fp = append(fp, math.NaN(), math.NaN(), math.NaN(), math.NaN())
+				continue
+			}
+			capacity := prof.Model.Capacity()
+			fp = append(fp,
+				float64(prof.Servers),
+				prof.RefServiceTime.Seconds(),
+				capacity,
+				prof.Model.SojournSeconds(0.5*capacity),
+			)
+		}
+	}
+	return fp
+}
+
+// fingerprintsEqual compares input vectors with a relative epsilon.
+func fingerprintsEqual(a, b []float64, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			return false
+		}
+		if math.Abs(a[i]-b[i]) > eps*math.Max(1, math.Max(math.Abs(a[i]), math.Abs(b[i]))) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFrontendCapacity rejects demand the monolithic LP would find
+// infeasible but the shards individually would not: every shard prices
+// only its own classes' constant root load on the frontend pools, so
+// the aggregate across shards must be pre-checked against each pool's
+// PWL capacity.
+func (s *ShardedOptimizer) checkFrontendCapacity(demand Demand, profiles Profiles) error {
+	frontend := s.app.FrontendService()
+	svc := s.app.Services[frontend]
+	for _, c := range svc.Clusters(s.top) {
+		prof, ok := profiles.Get(frontend, c)
+		if !ok {
+			return fmt.Errorf("core: no latency profile for pool %s", PoolKey{Service: frontend, Cluster: c})
+		}
+		segs, err := queuemodel.Linearize(prof.Model, s.cfg.BreakFracs)
+		if err != nil {
+			return fmt.Errorf("core: linearizing pool %s: %w", PoolKey{Service: frontend, Cluster: c}, err)
+		}
+		var load float64
+		for _, cl := range s.app.Classes {
+			scale := 1.0
+			if prof.RefServiceTime > 0 {
+				scale = cl.Root.Work.MeanServiceTime.Seconds() / prof.RefServiceTime.Seconds()
+			}
+			load += demand[cl.Name][c] * scale
+		}
+		if load > queuemodel.TotalWidth(segs)+1e-9 {
+			return fmt.Errorf("core: routing LP infeasible: offered demand exceeds modeled capacity (utilization cap %.0f%%)",
+				lastFrac(s.cfg.BreakFracs)*100)
+		}
+	}
+	return nil
+}
+
+// merge combines sub-plans into one plan. Rule keys are disjoint across
+// shards (they carry the class), so rules merge by union. Pool loads
+// overlap only on the frontend pools; overlapping loads sum their
+// standard RPS and re-derive utilization and sojourn from the profile.
+func (s *ShardedOptimizer) merge(plans []*Plan, profiles Profiles, version uint64) *Plan {
+	rules := make(map[routing.Key]routing.Distribution)
+	out := &Plan{PredictedMeanLatency: make(map[string]time.Duration)}
+	loads := make(map[PoolKey]float64)
+	for _, p := range plans {
+		for _, k := range p.Table.Keys() {
+			d, _ := p.Table.Get(k)
+			rules[k] = d
+		}
+		out.Objective += p.Objective
+		out.EgressPerSecond += p.EgressPerSecond
+		out.EgressBytesPerSecond += p.EgressBytesPerSecond
+		for class, lat := range p.PredictedMeanLatency {
+			out.PredictedMeanLatency[class] = lat
+		}
+		for _, pl := range p.Loads {
+			loads[pl.Key] += pl.StdRPS
+		}
+	}
+	out.Table = routing.NewTable(version, rules)
+	for key, std := range loads {
+		pl := PoolLoad{Key: key, StdRPS: std}
+		if prof, ok := profiles.Get(key.Service, key.Cluster); ok {
+			if capStd := prof.Model.Capacity(); capStd > 0 {
+				pl.Utilization = std / capStd
+			}
+			pl.PredictedSojourn = prof.Model.Sojourn(std)
+		}
+		out.Loads = append(out.Loads, pl)
+	}
+	sortLoads(out.Loads)
+	return out
+}

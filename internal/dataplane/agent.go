@@ -107,6 +107,7 @@ type Agent struct {
 
 	mRetries *obs.Counter
 	mDropped *obs.Counter
+	mResyncs *obs.Counter
 	mPending *obs.Gauge
 }
 
@@ -139,6 +140,9 @@ func NewAgentOpts(p *Proxy, clusterURL string, opts AgentOptions) (*Agent, error
 			"service", "cluster").With(svc, cl),
 		mDropped: reg.CounterVec("slate_agent_dropped_windows_total",
 			"Telemetry windows evicted because the controller stayed unreachable past the pending cap.",
+			"service", "cluster").With(svc, cl),
+		mResyncs: reg.CounterVec("slate_agent_rule_resyncs_total",
+			"Rule polls that fell back to a full-table fetch after a patch version gap.",
 			"service", "cluster").With(svc, cl),
 		mPending: reg.GaugeVec("slate_agent_pending_windows",
 			"Telemetry windows queued awaiting a successful push.",
@@ -222,14 +226,89 @@ func (a *Agent) pushTelemetry(ctx context.Context) error {
 	return nil
 }
 
-// pollRules fetches the routing table and applies it. Any successful
-// poll marks the proxy's rules fresh, even when the version is
-// unchanged — freshness means "the controller answered", not "the
-// rules changed".
+// pollRules fetches routing updates and applies them. The poll is
+// incremental — GET /v1/rules?since=<current version> — and the
+// controller answers with a routing.Patch carrying only the changed
+// rules (empty when the agent is current). A version gap (the patch's
+// base is not the table this proxy holds, e.g. the agent fell behind
+// the controller's history) triggers a full-table resync. A legacy
+// controller that ignores the query and returns a full table is
+// detected by the response shape (a table always has a "rules" key, a
+// patch never does) and handled as before. Any successful poll marks
+// the proxy's rules fresh, even when the version is unchanged —
+// freshness means "the controller answered", not "the rules changed".
 func (a *Agent) pollRules(ctx context.Context) error {
+	body, err := a.getRules(ctx, fmt.Sprintf("?since=%d", a.proxy.TableVersion()))
+	if err != nil {
+		return fmt.Errorf("dataplane: agent poll: %w", err)
+	}
+	var probe struct {
+		Rules json.RawMessage `json:"rules"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return fmt.Errorf("dataplane: agent poll: %w", err)
+	}
+	if probe.Rules != nil {
+		var table routing.Table
+		if err := json.Unmarshal(body, &table); err != nil {
+			return fmt.Errorf("dataplane: agent poll: %w", err)
+		}
+		a.applyTable(&table)
+		return nil
+	}
+	var patch routing.Patch
+	if err := json.Unmarshal(body, &patch); err != nil {
+		return fmt.Errorf("dataplane: agent poll: %w", err)
+	}
+	if patch.Empty() && patch.Version == a.proxy.TableVersion() {
+		a.proxy.MarkRulesFresh()
+		a.lastVersion = patch.Version
+		return nil
+	}
+	if err := a.proxy.ApplyPatch(&patch); err != nil {
+		if !errors.Is(err, routing.ErrVersionGap) {
+			return fmt.Errorf("dataplane: agent poll: %w", err)
+		}
+		return a.resyncRules(ctx)
+	}
+	a.lastVersion = patch.Version
+	return nil
+}
+
+// resyncRules refetches the full table after a patch failed to apply.
+func (a *Agent) resyncRules(ctx context.Context) error {
+	a.mResyncs.Inc()
+	body, err := a.getRules(ctx, "")
+	if err != nil {
+		return fmt.Errorf("dataplane: agent resync: %w", err)
+	}
 	var table routing.Table
+	if err := json.Unmarshal(body, &table); err != nil {
+		return fmt.Errorf("dataplane: agent resync: %w", err)
+	}
+	a.proxy.SetTable(&table)
+	a.lastVersion = table.Version
+	return nil
+}
+
+// applyTable installs a full table fetched from the controller,
+// skipping the swap (but renewing freshness) when the version is
+// unchanged.
+func (a *Agent) applyTable(table *routing.Table) {
+	if table.Version != a.lastVersion {
+		a.proxy.SetTable(table)
+		a.lastVersion = table.Version
+	} else {
+		a.proxy.MarkRulesFresh()
+	}
+}
+
+// getRules performs one (retried) GET of the controller's rules
+// endpoint and returns the raw response body.
+func (a *Agent) getRules(ctx context.Context, query string) ([]byte, error) {
+	var body []byte
 	err := a.withRetries(ctx, func(ctx context.Context) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, a.clusterURL+"/v1/rules", nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, a.clusterURL+"/v1/rules"+query, nil)
 		if err != nil {
 			return err
 		}
@@ -242,19 +321,10 @@ func (a *Agent) pollRules(ctx context.Context) error {
 			io.Copy(io.Discard, resp.Body)
 			return fmt.Errorf("status %d", resp.StatusCode)
 		}
-		table = routing.Table{}
-		return json.NewDecoder(resp.Body).Decode(&table)
+		body, err = io.ReadAll(resp.Body)
+		return err
 	})
-	if err != nil {
-		return fmt.Errorf("dataplane: agent poll: %w", err)
-	}
-	if table.Version != a.lastVersion {
-		a.proxy.SetTable(&table)
-		a.lastVersion = table.Version
-	} else {
-		a.proxy.MarkRulesFresh()
-	}
-	return nil
+	return body, err
 }
 
 // withRetries runs op up to 1+MaxRetries times with exponential

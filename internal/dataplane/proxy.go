@@ -118,6 +118,7 @@ type Proxy struct {
 	agg     *telemetry.Aggregator
 
 	table    atomic.Pointer[routing.Table]
+	patchMu  sync.Mutex // serializes read-modify-write patch applications
 	fallback []topology.ClusterID
 
 	staleAfter time.Duration
@@ -243,6 +244,24 @@ func (p *Proxy) SetTable(t *routing.Table) {
 	}
 	p.table.Store(t)
 	p.MarkRulesFresh()
+}
+
+// ApplyPatch applies an incremental rule update atomically: the next
+// table is derived from the current one plus the patch, and swapped in
+// only if the patch's base version matches (routing.ErrVersionGap
+// otherwise, which callers answer with a full resync). Applications are
+// serialized so two concurrent patches cannot both derive from the same
+// base and silently drop one another's rules.
+func (p *Proxy) ApplyPatch(patch *routing.Patch) error {
+	p.patchMu.Lock()
+	defer p.patchMu.Unlock()
+	next, err := p.table.Load().Apply(patch)
+	if err != nil {
+		return err
+	}
+	p.table.Store(next)
+	p.MarkRulesFresh()
+	return nil
 }
 
 // MarkRulesFresh restarts the staleness TTL: the control plane
@@ -509,20 +528,13 @@ func (p *Proxy) recordSpan(r *http.Request, class, traceID string, selfID, paren
 		Path:      r.URL.Path,
 		Start:     time.Duration(start.UnixNano()),
 		End:       time.Duration(start.Add(dur).UnixNano()),
-		ReqBytes:  maxInt64(r.ContentLength, 0),
+		ReqBytes:  max(r.ContentLength, 0),
 		RespBytes: respBytes,
 		Remote:    r.Header.Get(HeaderSourceCluster) != "" && r.Header.Get(HeaderSourceCluster) != string(p.cluster),
 	}
 	p.spanMu.Lock()
 	p.spans = append(p.spans, span)
 	p.spanMu.Unlock()
-}
-
-func maxInt64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func copyHeaders(dst, src http.Header) {

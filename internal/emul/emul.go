@@ -497,7 +497,7 @@ func (s *appServer) callChildren(r *http.Request, node *appgraph.CallNode) error
 	}
 	call := func(ch *appgraph.CallNode) error {
 		for i := 0; i < ch.Count; i++ {
-			req, err := http.NewRequestWithContext(r.Context(), ch.Method, s.sidecar+ch.Path, strings.NewReader(strings.Repeat("x", int(min64(ch.Work.RequestBytes, 1<<20)))))
+			req, err := http.NewRequestWithContext(r.Context(), ch.Method, s.sidecar+ch.Path, strings.NewReader(strings.Repeat("x", int(min(ch.Work.RequestBytes, 1<<20)))))
 			if err != nil {
 				return err
 			}
@@ -553,13 +553,6 @@ func writeZeros(w io.Writer, n int64) {
 		}
 		n -= c
 	}
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // LoadResult summarizes one driven workload stream.

@@ -133,24 +133,7 @@ func Scalability(opt Options) (*Figure, error) {
 		Summary: map[string]float64{},
 	}
 
-	ring := func(n int) *topology.Topology {
-		b := topology.NewBuilder(topology.DefaultEgressPerGB)
-		ids := make([]topology.ClusterID, n)
-		for i := 0; i < n; i++ {
-			ids[i] = topology.ClusterID(fmt.Sprintf("c%02d", i))
-			b.AddCluster(ids[i], "region")
-		}
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				hops := j - i
-				if n-hops < hops {
-					hops = n - hops
-				}
-				b.SetRTT(ids[i], ids[j], time.Duration(10+20*hops)*time.Millisecond)
-			}
-		}
-		return b.MustBuild()
-	}
+	ring := ringTopology
 
 	timeIt := func(top *topology.Topology, app *appgraph.App, demand core.Demand) (float64, error) {
 		prob := &core.Problem{Top: top, App: app, Demand: demand,
@@ -236,6 +219,12 @@ func Scalability(opt Options) (*Figure, error) {
 	}
 	fig.Series = append(fig.Series, cs)
 	fig.Summary["solve_ms_at_16_classes"] = cs.Y[len(cs.Y)-1]
+
+	// Monolithic vs decomposed control loop (n clusters × n classes):
+	// steady-state tick latency and control-plane bytes per tick.
+	if err := pipelineSweep(fig); err != nil {
+		return nil, err
+	}
 	return fig, nil
 }
 

@@ -264,8 +264,8 @@ func TestScalabilitySolveTimes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fig.Series) != 3 {
-		t.Fatalf("series = %d, want 3 sweeps", len(fig.Series))
+	if len(fig.Series) != 7 {
+		t.Fatalf("series = %d, want 3 solve sweeps + 4 pipeline series", len(fig.Series))
 	}
 	// The paper's §5 target: optimization "on the order of seconds" for
 	// large deployments. Our largest configs must stay under 2s.
@@ -273,6 +273,25 @@ func TestScalabilitySolveTimes(t *testing.T) {
 		if v := fig.Summary[k]; v <= 0 || v > 2000 {
 			t.Errorf("%s = %vms, want (0, 2000]", k, v)
 		}
+	}
+	// The decomposed pipeline must beat the monolithic loop on both
+	// steady-state tick latency and control-plane bytes at 8 clusters ×
+	// 8 classes, with ≥90% of subproblem solves skipped on unchanged
+	// ticks.
+	if m, d := fig.Summary["tick_ms_monolithic_at_8x8"], fig.Summary["tick_ms_decomposed_at_8x8"]; !(d < m) || d <= 0 {
+		t.Errorf("steady tick ms at 8x8: decomposed %v not strictly below monolithic %v", d, m)
+	}
+	if m, d := fig.Summary["wire_bytes_monolithic_at_8x8"], fig.Summary["wire_bytes_decomposed_at_8x8"]; !(d < m) || d <= 0 {
+		t.Errorf("wire bytes at 8x8: decomposed %v not strictly below monolithic %v", d, m)
+	}
+	if r := fig.Summary["subproblem_skip_rate_steady"]; r < 0.9 {
+		t.Errorf("steady skip rate = %v, want >= 0.9", r)
+	}
+	if s := int(fig.Summary["subproblems_at_8x8"]); s != 8 {
+		t.Errorf("subproblems at 8x8 = %v, want 8 (one per class)", s)
+	}
+	if p := int(fig.Summary["subproblem_solves_perturb"]); p != 1 {
+		t.Errorf("perturbed tick re-solved %v subproblems, want exactly 1", p)
 	}
 }
 

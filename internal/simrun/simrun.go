@@ -13,10 +13,12 @@
 package simrun
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/controlplane"
 	"github.com/servicelayernetworking/slate/internal/core"
 	"github.com/servicelayernetworking/slate/internal/fault"
 	"github.com/servicelayernetworking/slate/internal/obs"
@@ -82,6 +84,13 @@ type Scenario struct {
 	// errors abort span export for the rest of the run but not the run
 	// itself.
 	SpanSink SpanSink
+	// MeasureWire accounts, per control tick, the bytes the control
+	// plane would have moved under both distribution strategies — full
+	// table fan-out + full telemetry fan-in versus per-cluster rule
+	// patches + delta telemetry reports — using the real wire structs
+	// (routing.Patch, controlplane.MetricsReport). Results land in
+	// Result.Wire. The measurement does not affect simulated time.
+	MeasureWire bool
 }
 
 // SpanSink receives exported trace spans (see obs.SpanWriter).
@@ -175,6 +184,25 @@ type Result struct {
 	// FinalReplicas reports each pool's replica count at the end of the
 	// run (when the autoscaler is enabled).
 	FinalReplicas map[core.PoolKey]int
+	// Wire totals the control-plane bytes both distribution strategies
+	// would have sent (nil unless Scenario.MeasureWire).
+	Wire *WireStats
+}
+
+// WireStats compares control-plane wire cost over a run: the monolithic
+// strategy (full routing table to every cluster, full telemetry report
+// from every cluster, every tick) against the incremental one
+// (per-cluster rule patches, changed-stats-only telemetry deltas).
+type WireStats struct {
+	// FullTableBytes is json(table) × clusters summed over ticks.
+	FullTableBytes int64
+	// PatchBytes is the per-cluster routing.Patch payloads (a full
+	// patch on each cluster's first tick, deltas after).
+	PatchBytes int64
+	// FullTelemetryBytes is every cluster's complete MetricsReport.
+	FullTelemetryBytes int64
+	// DeltaTelemetryBytes is the epoch-marked changed-stats reports.
+	DeltaTelemetryBytes int64
 }
 
 // TimelinePoint is one control-window observation.
@@ -300,6 +328,11 @@ func Run(scn Scenario, pol Policy) (*Result, error) {
 		},
 	}
 	r.sink = scn.SpanSink
+	if scn.MeasureWire {
+		r.res.Wire = &WireStats{}
+		r.wirePrevSent = make(map[topology.ClusterID]*routing.Table)
+		r.wirePrevStats = make(map[topology.ClusterID][]telemetry.WindowStats)
+	}
 	reg := obs.Default()
 	r.mDegraded = reg.Counter("slate_sim_degraded_calls_total",
 		"Simulated routing decisions that fell back to local-biased routing (rules past TTL).")
@@ -395,6 +428,9 @@ func Run(scn Scenario, pol Policy) (*Result, error) {
 						r.lastFresh[c] = now
 					}
 				}
+				if scn.MeasureWire {
+					r.measureWire(groups, scn.Top.ClusterIDs(), scn.ControlPeriod)
+				}
 			}
 			if now.Duration()+scn.ControlPeriod < scn.Duration {
 				k.After(scn.ControlPeriod, tick)
@@ -442,6 +478,13 @@ type runner struct {
 	// lastFresh records, per cluster, the virtual time rules last
 	// reached that cluster's proxies; see degradedAt.
 	lastFresh map[topology.ClusterID]sim.Time
+
+	// Wire-measurement state (MeasureWire): the last table slice
+	// "pushed" to each cluster, each cluster's last telemetry window,
+	// and the report epoch.
+	wirePrevSent  map[topology.ClusterID]*routing.Table
+	wirePrevStats map[topology.ClusterID][]telemetry.WindowStats
+	wireEpoch     uint64
 
 	remoteCalls, totalCalls uint64
 	localServed             map[topology.ClusterID]uint64
@@ -715,6 +758,51 @@ func (r *runner) recordTimeline(at time.Duration, stats []telemetry.WindowStats,
 		Mean: time.Duration(latSum / float64(n) * float64(time.Second)),
 		RPS:  float64(n) / window.Seconds(),
 	})
+}
+
+// measureWire accounts one control tick's wire bytes under both
+// distribution strategies. groups holds each cluster's flushed window,
+// aligned with clusters. The incremental side mirrors the live control
+// plane exactly: a full patch / full report on a cluster's first tick,
+// deltas after, empty patches still counted (they renew freshness).
+func (r *runner) measureWire(groups [][]telemetry.WindowStats, clusters []topology.ClusterID, window time.Duration) {
+	w := r.res.Wire
+	r.wireEpoch++
+	full, err := json.Marshal(r.table)
+	if err != nil {
+		return
+	}
+	w.FullTableBytes += int64(len(full)) * int64(len(clusters))
+	for i, c := range clusters {
+		desired := r.table.Restrict(c)
+		patch := routing.MakePatch(r.wirePrevSent[c], desired)
+		w.PatchBytes += int64(patch.WireBytes())
+		r.wirePrevSent[c] = desired
+
+		stats := groups[i]
+		rep := controlplane.MetricsReport{
+			Cluster: c, WindowMS: window.Milliseconds(), Epoch: r.wireEpoch, Stats: stats,
+		}
+		fullRep, err := json.Marshal(rep)
+		if err != nil {
+			continue
+		}
+		w.FullTelemetryBytes += int64(len(fullRep))
+		prev, seen := r.wirePrevStats[c]
+		if !seen {
+			w.DeltaTelemetryBytes += int64(len(fullRep))
+		} else {
+			changed, removed := telemetry.DeltaReport(prev, stats, 1e-9)
+			deltaRep, err := json.Marshal(controlplane.MetricsReport{
+				Cluster: c, WindowMS: window.Milliseconds(), Delta: true,
+				Epoch: r.wireEpoch, Stats: changed, Removed: removed,
+			})
+			if err == nil {
+				w.DeltaTelemetryBytes += int64(len(deltaRep))
+			}
+		}
+		r.wirePrevStats[c] = stats
+	}
 }
 
 func (r *runner) accountEgress(from, to topology.ClusterID, bytes int64) {

@@ -1,0 +1,45 @@
+package telemetry
+
+import "math"
+
+// DeltaReport computes the incremental telemetry upload between two
+// window snapshots: changed holds every stat of cur that is new or
+// differs from prev beyond the relative epsilon, removed lists keys
+// present in prev but absent from cur. The receiver folds changed into
+// its per-cluster state map and deletes removed, reconstructing the
+// full window without the unchanged keys ever crossing the wire.
+func DeltaReport(prev, cur []WindowStats, eps float64) (changed []WindowStats, removed []MetricKey) {
+	prevBy := make(map[MetricKey]WindowStats, len(prev))
+	for _, ws := range prev {
+		prevBy[ws.Key] = ws
+	}
+	for _, ws := range cur {
+		old, ok := prevBy[ws.Key]
+		if !ok || !statsWithin(old, ws, eps) {
+			changed = append(changed, ws)
+		}
+		delete(prevBy, ws.Key)
+	}
+	for _, ws := range prev {
+		if _, gone := prevBy[ws.Key]; gone {
+			removed = append(removed, ws.Key)
+		}
+	}
+	return changed, removed
+}
+
+// statsWithin reports whether two windows for the same key agree within
+// the relative epsilon on every numeric field.
+func statsWithin(a, b WindowStats, eps float64) bool {
+	return within(float64(a.Window), float64(b.Window), eps) &&
+		within(float64(a.Requests), float64(b.Requests), eps) &&
+		within(a.RPS, b.RPS, eps) &&
+		within(float64(a.MeanLatency), float64(b.MeanLatency), eps) &&
+		within(float64(a.P50), float64(b.P50), eps) &&
+		within(float64(a.P99), float64(b.P99), eps) &&
+		within(float64(a.EgressBytes), float64(b.EgressBytes), eps)
+}
+
+func within(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func dws(svc string, rps float64) WindowStats {
+	return WindowStats{
+		Key:         MetricKey{Service: svc, Class: "d", Cluster: "west"},
+		Window:      time.Second,
+		Requests:    uint64(rps),
+		RPS:         rps,
+		MeanLatency: 20 * time.Millisecond,
+	}
+}
+
+func TestDeltaReportChangesOnly(t *testing.T) {
+	prev := []WindowStats{dws("a", 100), dws("b", 200), dws("c", 300)}
+	cur := []WindowStats{dws("a", 100), dws("b", 250), dws("d", 50)}
+
+	changed, removed := DeltaReport(prev, cur, 1e-9)
+	if len(changed) != 2 {
+		t.Fatalf("changed = %d entries (%v), want 2 (b and d)", len(changed), changed)
+	}
+	names := map[string]bool{}
+	for _, ws := range changed {
+		names[ws.Key.Service] = true
+	}
+	if !names["b"] || !names["d"] {
+		t.Errorf("changed keys = %v, want b and d", names)
+	}
+	if len(removed) != 1 || removed[0].Service != "c" {
+		t.Errorf("removed = %v, want [c]", removed)
+	}
+}
+
+func TestDeltaReportEpsilon(t *testing.T) {
+	prev := []WindowStats{dws("a", 100)}
+	// A sub-epsilon wiggle is "unchanged"; above it is not.
+	cur := []WindowStats{dws("a", 100*(1+1e-12))}
+	if changed, removed := DeltaReport(prev, cur, 1e-9); len(changed) != 0 || len(removed) != 0 {
+		t.Errorf("sub-epsilon change reported: %v %v", changed, removed)
+	}
+	cur = []WindowStats{dws("a", 101)}
+	if changed, _ := DeltaReport(prev, cur, 1e-9); len(changed) != 1 {
+		t.Errorf("real change not reported")
+	}
+}
+
+func TestDeltaReportReconstruction(t *testing.T) {
+	// Folding deltas into a state map must reconstruct the full window.
+	prev := []WindowStats{dws("a", 100), dws("b", 200)}
+	cur := []WindowStats{dws("a", 150), dws("c", 10)}
+	changed, removed := DeltaReport(prev, cur, 1e-9)
+
+	state := map[MetricKey]WindowStats{}
+	for _, ws := range prev {
+		state[ws.Key] = ws
+	}
+	for _, ws := range changed {
+		state[ws.Key] = ws
+	}
+	for _, k := range removed {
+		delete(state, k)
+	}
+	if len(state) != len(cur) {
+		t.Fatalf("reconstructed %d keys, want %d", len(state), len(cur))
+	}
+	for _, ws := range cur {
+		if got, ok := state[ws.Key]; !ok || got.RPS != ws.RPS { //slate:nolint floatcmp -- copied verbatim, not computed
+			t.Errorf("key %v reconstructed as %+v, want %+v", ws.Key, got, ws)
+		}
+	}
+}
+
+func TestDeltaReportEmptyPrevIsFull(t *testing.T) {
+	cur := []WindowStats{dws("a", 100), dws("b", 200)}
+	changed, removed := DeltaReport(nil, cur, 1e-9)
+	if len(changed) != 2 || len(removed) != 0 {
+		t.Errorf("first report: changed=%d removed=%d, want 2/0", len(changed), len(removed))
+	}
+}
