@@ -5,19 +5,25 @@
 //
 // Usage:
 //
-//	slate-lint [-C dir] [-run name,name] [-list] [patterns...]
+//	slate-lint [-C dir] [-run name,name] [-json] [-cache dir] [-list] [patterns...]
+//	slate-lint -audit [-C dir] [-json] [patterns...]
 //
 //	slate-lint ./...                 # everything (the CI gate)
 //	slate-lint ./internal/...        # one subtree
 //	slate-lint -run lockguard ./...  # a single analyzer
+//	slate-lint -json ./...           # machine-readable findings
+//	slate-lint -cache .slatecache ./...  # warm runs skip unchanged packages
+//	slate-lint -audit ./...          # inventory //slate:nolint directives
 //
 // Diagnostics print as "file:line:col: [analyzer] message"; the exit
 // status is 1 when there are findings, 2 on usage or load errors.
 // Deliberate exceptions are annotated in the source with
-// "//slate:nolint analyzer -- reason".
+// "//slate:nolint analyzer -- reason"; -audit lists them all and fails
+// when a suppression is missing its reason tail.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +34,12 @@ import (
 
 func main() {
 	var (
-		dir  = flag.String("C", ".", "module root to lint from")
-		run  = flag.String("run", "", "comma-separated analyzer names (default: all)")
-		list = flag.Bool("list", false, "list registered analyzers and exit")
+		dir      = flag.String("C", ".", "module root to lint from")
+		run      = flag.String("run", "", "comma-separated analyzer names (default: all)")
+		list     = flag.Bool("list", false, "list registered analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		cacheDir = flag.String("cache", "", "content-hash result cache directory (e.g. .slatecache); empty disables caching")
+		audit    = flag.Bool("audit", false, "list every //slate:nolint directive; exit 1 if any lacks a -- reason")
 	)
 	flag.Parse()
 
@@ -38,6 +47,11 @@ func main() {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
+		return
+	}
+
+	if *audit {
+		runAudit(*dir, flag.Args(), *jsonOut)
 		return
 	}
 
@@ -51,17 +65,92 @@ func main() {
 		analyzers = found
 	}
 
-	findings, err := analysis.Run(analysis.Options{
+	opts := analysis.Options{
 		Dir:       *dir,
 		Patterns:  flag.Args(),
 		Analyzers: analyzers,
-	}, os.Stdout)
+		CacheDir:  *cacheDir,
+	}
+
+	if *jsonOut {
+		res, err := analysis.RunFindings(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slate-lint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, te := range res.TypeErrors {
+			fmt.Fprintln(os.Stderr, te)
+		}
+		findings := res.Findings
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "slate-lint: %v\n", err)
+			os.Exit(2)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "slate-lint: %d finding(s)\n", len(findings))
+			os.Exit(1)
+		}
+		return
+	}
+
+	findings, err := analysis.Run(opts, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "slate-lint: %v\n", err)
 		os.Exit(2)
 	}
 	if findings > 0 {
 		fmt.Fprintf(os.Stderr, "slate-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// runAudit inventories //slate:nolint directives. Suppressions without
+// a recorded reason fail the audit: an exception nobody can triage is
+// a future bug.
+func runAudit(dir string, patterns []string, jsonOut bool) {
+	entries, err := analysis.Audit(analysis.Options{Dir: dir, Patterns: patterns})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slate-lint: %v\n", err)
+		os.Exit(2)
+	}
+	missing := 0
+	if jsonOut {
+		if entries == nil {
+			entries = []analysis.NolintEntry{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(entries); err != nil {
+			fmt.Fprintf(os.Stderr, "slate-lint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, e := range entries {
+			if e.Reason == "" {
+				missing++
+			}
+		}
+	} else {
+		for _, e := range entries {
+			scope := strings.Join(e.Analyzers, ",")
+			if scope == "" {
+				scope = "(all)"
+			}
+			reason := e.Reason
+			if reason == "" {
+				reason = "<<MISSING REASON>>"
+				missing++
+			}
+			fmt.Printf("%s:%d: %s -- %s\n", e.File, e.Line, scope, reason)
+		}
+		fmt.Printf("%d suppression(s), %d missing a reason\n", len(entries), missing)
+	}
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "slate-lint: %d //slate:nolint directive(s) missing the '-- reason' tail\n", missing)
 		os.Exit(1)
 	}
 }

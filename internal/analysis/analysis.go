@@ -51,8 +51,12 @@ type Analyzer struct {
 	// SLATE invariant it protects.
 	Doc string
 	// Run inspects one type-checked package unit and reports findings
-	// via pass.Reportf.
+	// via pass.Reportf. Nil for whole-program analyzers.
 	Run func(*Pass)
+	// RunProgram inspects the whole program (all units plus the call
+	// graph) and reports findings via pass.Reportf. Interprocedural
+	// analyzers (hotalloc, lockorder) set this instead of Run.
+	RunProgram func(*ProgramPass)
 }
 
 // Diagnostic is one finding.

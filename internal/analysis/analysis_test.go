@@ -32,20 +32,27 @@ func TestLockguardFixture(t *testing.T) { runFixture(t, Lockguard) }
 func TestFloatcmpFixture(t *testing.T)  { runFixture(t, Floatcmp) }
 func TestDetrandFixture(t *testing.T)   { runFixture(t, Detrand) }
 func TestCtxpropFixture(t *testing.T)   { runFixture(t, Ctxprop) }
+func TestHotallocFixture(t *testing.T)  { runFixture(t, Hotalloc) }
+func TestDetorderFixture(t *testing.T)  { runFixture(t, Detorder) }
+func TestLockorderFixture(t *testing.T) { runFixture(t, Lockorder) }
 
 // TestDriverSmoke runs the full driver — pattern expansion, all
 // analyzers, nolint filtering, output formatting — over the fixture
 // packages and checks the aggregate behaves like the CI gate would.
 func TestDriverSmoke(t *testing.T) {
+	smokePatterns := []string{
+		"testdata/lint/ctxprop",
+		"testdata/lint/detorder",
+		"testdata/lint/detrand",
+		"testdata/lint/floatcmp",
+		"testdata/lint/hotalloc",
+		"testdata/lint/lockguard",
+		"testdata/lint/lockorder",
+	}
 	var out bytes.Buffer
 	findings, err := Run(Options{
-		Dir: repoRoot(t),
-		Patterns: []string{
-			"testdata/lint/ctxprop",
-			"testdata/lint/detrand",
-			"testdata/lint/floatcmp",
-			"testdata/lint/lockguard",
-		},
+		Dir:      repoRoot(t),
+		Patterns: smokePatterns,
 	}, &out)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -76,13 +83,8 @@ func TestDriverSmoke(t *testing.T) {
 	// Deterministic ordering: a second run prints byte-identical output.
 	var out2 bytes.Buffer
 	if _, err := Run(Options{
-		Dir: repoRoot(t),
-		Patterns: []string{
-			"testdata/lint/ctxprop",
-			"testdata/lint/detrand",
-			"testdata/lint/floatcmp",
-			"testdata/lint/lockguard",
-		},
+		Dir:      repoRoot(t),
+		Patterns: smokePatterns,
 	}, &out2); err != nil {
 		t.Fatalf("Run #2: %v", err)
 	}

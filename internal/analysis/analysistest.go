@@ -44,7 +44,9 @@ type expectation struct {
 // diagnostic must be wanted on its line, and every want must be matched
 // by a diagnostic. //slate:nolint filtering applies, so fixtures can
 // also assert that suppression works (a nolint'd violation with no
-// want). It returns a list of complaints, empty on success.
+// want). Per-unit analyzers run over each unit; whole-program
+// analyzers run once over a Program built from the fixture's units.
+// It returns a list of complaints, empty on success.
 func CheckFixture(moduleDir, dir string, a *Analyzer) ([]string, error) {
 	fixtureMu.Lock()
 	defer fixtureMu.Unlock()
@@ -61,16 +63,21 @@ func CheckFixture(moduleDir, dir string, a *Analyzer) ([]string, error) {
 	}
 
 	var complaints []string
+	var okUnits []*Unit
 	for _, u := range units {
 		for _, terr := range u.TypeErrors {
 			complaints = append(complaints, fmt.Sprintf("fixture does not type-check: %v", terr))
 		}
-		if len(u.TypeErrors) > 0 {
-			continue
+		if len(u.TypeErrors) == 0 {
+			okUnits = append(okUnits, u)
 		}
+	}
 
-		// Gather wants: filename -> line -> expectations.
-		wants := make(map[string]map[int][]*expectation)
+	// Gather wants across all units: filename -> line -> expectations.
+	wants := make(map[string]map[int][]*expectation)
+	nolint := &nolintIndex{byLine: make(map[string]map[int][]string)}
+	for _, u := range okUnits {
+		mergeNolint(nolint, collectNolint(loader, u))
 		for _, f := range u.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
@@ -100,44 +107,51 @@ func CheckFixture(moduleDir, dir string, a *Analyzer) ([]string, error) {
 				}
 			}
 		}
+	}
 
-		nolint := collectNolint(loader, u)
-		var diags []Diagnostic
-		pass := &Pass{
-			Analyzer:   a,
-			Fset:       loader.Fset,
-			Files:      u.Files,
-			Pkg:        u.Pkg,
-			Info:       u.Info,
-			ImportPath: u.ImportPath,
-			ModulePath: loader.ModulePath,
-			report: func(d Diagnostic) {
-				if !nolint.suppressed(d) {
-					diags = append(diags, d)
-				}
-			},
+	var diags []Diagnostic
+	report := func(d Diagnostic) {
+		if !nolint.suppressed(d) {
+			diags = append(diags, d)
 		}
-		a.Run(pass)
+	}
+	if a.RunProgram != nil {
+		prog := NewProgram(loader, okUnits)
+		a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, report: report})
+	}
+	if a.Run != nil {
+		for _, u := range okUnits {
+			a.Run(&Pass{
+				Analyzer:   a,
+				Fset:       loader.Fset,
+				Files:      u.Files,
+				Pkg:        u.Pkg,
+				Info:       u.Info,
+				ImportPath: u.ImportPath,
+				ModulePath: loader.ModulePath,
+				report:     report,
+			})
+		}
+	}
 
-		for _, d := range diags {
-			found := false
-			for _, exp := range wants[d.Pos.Filename][d.Pos.Line] {
-				if exp.re.MatchString(d.Message) {
-					exp.matched = true
-					found = true
-					break
-				}
-			}
-			if !found {
-				complaints = append(complaints, fmt.Sprintf("unexpected diagnostic: %s", d))
+	for _, d := range diags {
+		found := false
+		for _, exp := range wants[d.Pos.Filename][d.Pos.Line] {
+			if exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
 			}
 		}
-		for file, lines := range wants {
-			for line, exps := range lines {
-				for _, exp := range exps {
-					if !exp.matched {
-						complaints = append(complaints, fmt.Sprintf("%s:%d: no diagnostic matched want %q", file, line, exp.re))
-					}
+		if !found {
+			complaints = append(complaints, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for file, lines := range wants {
+		for line, exps := range lines {
+			for _, exp := range exps {
+				if !exp.matched {
+					complaints = append(complaints, fmt.Sprintf("%s:%d: no diagnostic matched want %q", file, line, exp.re))
 				}
 			}
 		}

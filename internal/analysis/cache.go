@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/build"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// lintCache is a content-hash result cache. Each package directory's
+// key digests its Go sources (tests included), the hashes of its
+// module-internal imports (recursively — a change anywhere below a
+// package invalidates it), the analyzer set, the toolchain version,
+// and a schema version. Per-unit results are stored per package;
+// whole-program results are stored under the combined hash of every
+// requested package, so a fully warm run reads two JSON files and
+// type-checks nothing.
+type lintCache struct {
+	dir     string
+	loader  *Loader
+	version string
+
+	pkgHash map[string]string // pkg dir -> hex digest ("" = unhashable)
+	hashing map[string]bool   // cycle guard (import cycles are compile
+	// errors, but a linter should not hang on broken input)
+}
+
+// cacheSchema bumps on any change to Finding encoding or hashing
+// logic, orphaning old entries.
+const cacheSchema = "slatecache-v1"
+
+func newLintCache(dir string, loader *Loader, analyzers []*Analyzer) *lintCache {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return &lintCache{
+		dir:     dir,
+		loader:  loader,
+		version: cacheSchema + "|" + runtime.Version() + "|" + strings.Join(names, ","),
+		pkgHash: make(map[string]string),
+		hashing: make(map[string]bool),
+	}
+}
+
+// hash returns the content hash for one package directory, or "" when
+// the directory cannot be hashed (unreadable, import cycle).
+func (c *lintCache) hash(pkgDir string) string {
+	if h, ok := c.pkgHash[pkgDir]; ok {
+		return h
+	}
+	if c.hashing[pkgDir] {
+		return "" // cycle: refuse to cache anything involved
+	}
+	c.hashing[pkgDir] = true
+	defer delete(c.hashing, pkgDir)
+
+	h := sha256.New()
+	io.WriteString(h, c.version)
+	rel, err := filepath.Rel(c.loader.ModuleDir, pkgDir)
+	if err != nil {
+		c.pkgHash[pkgDir] = ""
+		return ""
+	}
+	io.WriteString(h, "\x00"+filepath.ToSlash(rel))
+
+	ctx := build.Default
+	bp, err := ctx.ImportDir(pkgDir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); !nogo {
+			c.pkgHash[pkgDir] = ""
+			return ""
+		}
+	}
+	var files []string
+	if bp != nil {
+		files = append(files, bp.GoFiles...)
+		files = append(files, bp.TestGoFiles...)
+		files = append(files, bp.XTestGoFiles...)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(pkgDir, name))
+		if err != nil {
+			c.pkgHash[pkgDir] = ""
+			return ""
+		}
+		fmt.Fprintf(h, "\x00%s\x00%d\x00", name, len(data))
+		h.Write(data)
+	}
+
+	// Recurse into module-internal imports: their content is part of
+	// this package's analysis input (type info and call graph).
+	var imports []string
+	if bp != nil {
+		imports = append(imports, bp.Imports...)
+		imports = append(imports, bp.TestImports...)
+		imports = append(imports, bp.XTestImports...)
+	}
+	sort.Strings(imports)
+	seen := make(map[string]bool)
+	for _, imp := range imports {
+		if seen[imp] || !strings.HasPrefix(imp, c.loader.ModulePath) {
+			continue
+		}
+		seen[imp] = true
+		sub := filepath.Join(c.loader.ModuleDir, filepath.FromSlash(strings.TrimPrefix(imp, c.loader.ModulePath)))
+		depHash := c.hash(sub)
+		if depHash == "" {
+			c.pkgHash[pkgDir] = ""
+			return ""
+		}
+		io.WriteString(h, "\x00"+imp+"\x00"+depHash)
+	}
+
+	sum := hex.EncodeToString(h.Sum(nil))
+	c.pkgHash[pkgDir] = sum
+	return sum
+}
+
+// programHash combines every requested package hash into one key for
+// whole-program analyzer results.
+func (c *lintCache) programHash(dirs []string) string {
+	h := sha256.New()
+	io.WriteString(h, c.version+"\x00program")
+	for _, d := range dirs {
+		ph := c.hash(d)
+		if ph == "" {
+			return ""
+		}
+		io.WriteString(h, "\x00"+ph)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *lintCache) unitPath(hash string) string {
+	return filepath.Join(c.dir, hash[:24]+".unit.json")
+}
+
+func (c *lintCache) programPath(hash string) string {
+	return filepath.Join(c.dir, hash[:24]+".prog.json")
+}
+
+// getUnit returns cached per-unit findings for a package directory.
+func (c *lintCache) getUnit(pkgDir string) ([]Finding, bool) {
+	hash := c.hash(pkgDir)
+	if hash == "" {
+		return nil, false
+	}
+	return readFindings(c.unitPath(hash))
+}
+
+// putUnit stores per-unit findings. Failures are silent: the cache is
+// an accelerator, never a correctness dependency.
+func (c *lintCache) putUnit(pkgDir string, findings []Finding) {
+	hash := c.hash(pkgDir)
+	if hash == "" {
+		return
+	}
+	writeFindings(c.unitPath(hash), findings)
+}
+
+// getProgram returns cached whole-program findings for the exact
+// requested package set.
+func (c *lintCache) getProgram(dirs []string) ([]Finding, bool) {
+	hash := c.programHash(dirs)
+	if hash == "" {
+		return nil, false
+	}
+	return readFindings(c.programPath(hash))
+}
+
+func (c *lintCache) putProgram(dirs []string, findings []Finding) {
+	hash := c.programHash(dirs)
+	if hash == "" {
+		return
+	}
+	writeFindings(c.programPath(hash), findings)
+}
+
+func readFindings(path string) ([]Finding, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var out []Finding
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+func writeFindings(path string, findings []Finding) {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	data, err := json.Marshal(findings)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	// Write-then-rename keeps concurrent runs from reading torn files.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, path)
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeTempModule lays out a one-package module with a floatcmp
+// violation, returning the module root.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	mustWrite := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite("go.mod", "module example.com/tmpmod\n\ngo 1.24\n")
+	mustWrite("pkg/pkg.go", `package pkg
+
+// Eq compares floats with == — a floatcmp finding.
+func Eq(x, y float64) bool { return x == y }
+`)
+	return root
+}
+
+// TestCacheWarmRun checks the content-hash cache end to end: a cold
+// run populates it, a warm run reproduces the findings byte-for-byte
+// from the cached entries, and editing the source invalidates them.
+func TestCacheWarmRun(t *testing.T) {
+	root := writeTempModule(t)
+	opts := Options{Dir: root, CacheDir: ".slatecache"}
+
+	cold, err := RunFindings(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Findings) != 1 || cold.Findings[0].Analyzer != "floatcmp" {
+		t.Fatalf("cold run findings = %+v, want one floatcmp finding", cold.Findings)
+	}
+
+	entries, err := os.ReadDir(filepath.Join(root, ".slatecache"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache dir not populated (entries=%v, err=%v)", entries, err)
+	}
+
+	warm, err := RunFindings(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.Findings, warm.Findings) {
+		t.Fatalf("warm run diverged:\ncold: %+v\nwarm: %+v", cold.Findings, warm.Findings)
+	}
+
+	// Fix the violation: the package hash changes and the stale cached
+	// finding must not survive.
+	if err := os.WriteFile(filepath.Join(root, "pkg", "pkg.go"), []byte(`package pkg
+
+// Eq now compares with a tolerance.
+func Eq(x, y float64) bool {
+	d := x - y
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := RunFindings(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed.Findings) != 0 {
+		t.Fatalf("stale cache served after edit: %+v", fixed.Findings)
+	}
+}
+
+// TestCacheHashDependsOnDeps checks that a package hash changes when a
+// module-internal dependency changes, not just the package itself.
+func TestCacheHashDependsOnDeps(t *testing.T) {
+	root := writeTempModule(t)
+	dep := `package dep
+
+const Answer = 42
+`
+	if err := os.MkdirAll(filepath.Join(root, "dep"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "dep", "dep.go"), []byte(dep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	use := `package pkg
+
+import "example.com/tmpmod/dep"
+
+// Eq compares floats with == — a floatcmp finding.
+func Eq(x, y float64) bool { return x == y && dep.Answer > 0 }
+`
+	if err := os.WriteFile(filepath.Join(root, "pkg", "pkg.go"), []byte(use), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newLintCache(filepath.Join(root, ".slatecache"), loader, All())
+	before := c.hash(filepath.Join(root, "pkg"))
+	if before == "" {
+		t.Fatal("package did not hash")
+	}
+
+	// Touch only the dependency.
+	if err := os.WriteFile(filepath.Join(root, "dep", "dep.go"), []byte(dep+"\n// changed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2 := newLintCache(filepath.Join(root, ".slatecache"), loader, All())
+	after := c2.hash(filepath.Join(root, "pkg"))
+	if after == "" {
+		t.Fatal("package did not hash after dep edit")
+	}
+	if before == after {
+		t.Error("package hash unchanged after editing a module-internal dependency")
+	}
+}

@@ -20,6 +20,33 @@ type Options struct {
 	Patterns []string
 	// Analyzers to run. Empty means All().
 	Analyzers []*Analyzer
+	// CacheDir enables the content-hash result cache when non-empty
+	// (resolved relative to Dir). Warm runs skip re-analyzing packages
+	// whose sources and module-internal dependencies are unchanged.
+	CacheDir string
+}
+
+// Finding is one diagnostic in machine-readable form. File is
+// module-relative.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Result is the outcome of a lint run.
+type Result struct {
+	Findings []Finding
+	// TypeErrors are raw type-checker messages from packages that
+	// failed to load; their analyzers are skipped (and a summary
+	// finding is emitted per failed unit).
+	TypeErrors []string
 }
 
 // Run lints the requested packages, writes diagnostics to out in
@@ -28,17 +55,49 @@ type Options struct {
 // non-nil error means the run itself failed (bad pattern, unparsable
 // source); findings alone never produce an error.
 func Run(opts Options, out io.Writer) (int, error) {
+	res, err := RunFindings(opts)
+	if err != nil {
+		return 0, err
+	}
+	for _, te := range res.TypeErrors {
+		fmt.Fprintln(out, te)
+	}
+	for _, f := range res.Findings {
+		fmt.Fprintln(out, f.String())
+	}
+	return len(res.Findings), nil
+}
+
+// RunFindings lints the requested packages and returns structured
+// findings, module-relative and deterministically sorted.
+//
+// The run has two phases. Per-unit analyzers see one package at a
+// time and their results are cacheable per package directory.
+// Whole-program analyzers (RunProgram) see every requested unit plus
+// the call graph; their results are cached under a hash of the entire
+// requested set, so a fully warm run loads nothing at all, while any
+// single change re-runs the program phase over fresh units.
+func RunFindings(opts Options) (*Result, error) {
 	dir := opts.Dir
 	if dir == "" {
 		dir = "."
 	}
 	loader, err := NewLoader(dir)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	analyzers := opts.Analyzers
 	if len(analyzers) == 0 {
 		analyzers = All()
+	}
+	var unitAs, progAs []*Analyzer
+	for _, a := range analyzers {
+		if a.Run != nil {
+			unitAs = append(unitAs, a)
+		}
+		if a.RunProgram != nil {
+			progAs = append(progAs, a)
+		}
 	}
 	patterns := opts.Patterns
 	if len(patterns) == 0 {
@@ -46,27 +105,76 @@ func Run(opts Options, out io.Writer) (int, error) {
 	}
 	dirs, err := expandPatterns(loader.ModuleDir, patterns)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 
-	var diags []Diagnostic
-	for _, pkgDir := range dirs {
-		units, err := loader.Load(pkgDir)
-		if err != nil {
-			return 0, fmt.Errorf("%s: %w", pkgDir, err)
+	var cache *lintCache
+	if opts.CacheDir != "" {
+		cacheDir := opts.CacheDir
+		if !filepath.IsAbs(cacheDir) {
+			cacheDir = filepath.Join(loader.ModuleDir, cacheDir)
 		}
-		for _, u := range units {
-			for _, terr := range u.TypeErrors {
-				fmt.Fprintf(out, "%s: [typecheck] %v\n", u.ImportPath, terr)
-			}
-			if len(u.TypeErrors) > 0 {
-				// Partial type info would make analyzer output noise.
-				diags = append(diags, Diagnostic{Analyzer: "typecheck",
-					Message: fmt.Sprintf("%s: %d type error(s), analyzers skipped", u.ImportPath, len(u.TypeErrors))})
+		cache = newLintCache(cacheDir, loader, analyzers)
+	}
+
+	res := &Result{}
+	perDir := make(map[string][]Finding, len(dirs))
+	var missed []string
+	for _, pkgDir := range dirs {
+		if cache != nil {
+			if cached, ok := cache.getUnit(pkgDir); ok {
+				perDir[pkgDir] = cached
 				continue
 			}
-			nolint := collectNolint(loader, u)
-			for _, a := range analyzers {
+		}
+		missed = append(missed, pkgDir)
+	}
+
+	var progFindings []Finding
+	progHit := false
+	if len(progAs) > 0 && cache != nil && len(missed) == 0 {
+		progFindings, progHit = cache.getProgram(dirs)
+	}
+
+	needProgRun := len(progAs) > 0 && !progHit
+	var toLoad []string
+	if needProgRun {
+		toLoad = dirs // program analyzers need every unit
+	} else {
+		toLoad = missed
+	}
+
+	missedSet := make(map[string]bool, len(missed))
+	for _, d := range missed {
+		missedSet[d] = true
+	}
+
+	var allUnits []*Unit
+	nolintAll := &nolintIndex{byLine: make(map[string]map[int][]string)}
+	badDirs := make(map[string]bool)
+	for _, pkgDir := range toLoad {
+		units, err := loader.Load(pkgDir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pkgDir, err)
+		}
+		for _, u := range units {
+			allUnits = append(allUnits, u)
+			for _, terr := range u.TypeErrors {
+				res.TypeErrors = append(res.TypeErrors, fmt.Sprintf("%s: [typecheck] %v", u.ImportPath, terr))
+			}
+			if len(u.TypeErrors) > 0 {
+				badDirs[pkgDir] = true
+				perDir[pkgDir] = append(perDir[pkgDir], Finding{
+					Analyzer: "typecheck",
+					Message:  fmt.Sprintf("%s: %d type error(s), analyzers skipped", u.ImportPath, len(u.TypeErrors)),
+				})
+				continue
+			}
+			mergeNolint(nolintAll, collectNolint(loader, u))
+			if !missedSet[pkgDir] {
+				continue // loaded only for the program phase
+			}
+			for _, a := range unitAs {
 				pass := &Pass{
 					Analyzer:   a,
 					Fset:       loader.Fset,
@@ -76,36 +184,85 @@ func Run(opts Options, out io.Writer) (int, error) {
 					ImportPath: u.ImportPath,
 					ModulePath: loader.ModulePath,
 					report: func(d Diagnostic) {
-						if !nolint.suppressed(d) {
-							diags = append(diags, d)
+						if !nolintAll.suppressed(d) {
+							perDir[pkgDir] = append(perDir[pkgDir], toFinding(loader, d))
 						}
 					},
 				}
 				a.Run(pass)
 			}
 		}
+		if cache != nil && missedSet[pkgDir] && !badDirs[pkgDir] {
+			cache.putUnit(pkgDir, perDir[pkgDir])
+		}
 	}
 
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+	if needProgRun {
+		prog := NewProgram(loader, allUnits)
+		for _, a := range progAs {
+			pp := &ProgramPass{
+				Analyzer: a,
+				Prog:     prog,
+				report: func(d Diagnostic) {
+					if !nolintAll.suppressed(d) {
+						progFindings = append(progFindings, toFinding(loader, d))
+					}
+				},
+			}
+			a.RunProgram(pp)
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+		if cache != nil && len(badDirs) == 0 {
+			cache.putProgram(dirs, progFindings)
 		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
-	for _, d := range diags {
-		if rel, err := filepath.Rel(loader.ModuleDir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
-		}
-		fmt.Fprintln(out, d.String())
 	}
-	return len(diags), nil
+
+	for _, pkgDir := range dirs {
+		res.Findings = append(res.Findings, perDir[pkgDir]...)
+	}
+	res.Findings = append(res.Findings, progFindings...)
+	sortFindings(res.Findings)
+	sort.Strings(res.TypeErrors)
+	return res, nil
+}
+
+func toFinding(loader *Loader, d Diagnostic) Finding {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(loader.ModuleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return Finding{File: file, Line: d.Pos.Line, Col: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message}
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+func mergeNolint(dst, src *nolintIndex) {
+	for file, lines := range src.byLine {
+		m := dst.byLine[file]
+		if m == nil {
+			m = make(map[int][]string)
+			dst.byLine[file] = m
+		}
+		for line, names := range lines {
+			m[line] = append(m[line], names...)
+		}
+	}
 }
 
 // expandPatterns turns package patterns into a sorted list of package

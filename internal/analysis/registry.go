@@ -4,9 +4,12 @@ package analysis
 func All() []*Analyzer {
 	return []*Analyzer{
 		Ctxprop,
+		Detorder,
 		Detrand,
 		Floatcmp,
+		Hotalloc,
 		Lockguard,
+		Lockorder,
 	}
 }
 

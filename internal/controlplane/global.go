@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -315,14 +316,29 @@ func (g *Global) snapshotIngest() [][]telemetry.WindowStats {
 	for i := range g.ingest {
 		st := &g.ingest[i]
 		st.mu.Lock()
-		for _, ci := range st.clusters {
+		// Visit clusters and their stat keys in sorted order: the merged
+		// windows feed float-averaging demand estimation, so group and
+		// window order is visible in the optimizer input and must not
+		// depend on map iteration.
+		ids := make([]topology.ClusterID, 0, len(st.clusters))
+		for id := range st.clusters {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			ci := st.clusters[id]
 			if !ci.reported {
 				continue
 			}
 			ci.reported = false
-			group := make([]telemetry.WindowStats, 0, len(ci.stats))
-			for _, ws := range ci.stats {
-				group = append(group, ws)
+			keys := make([]telemetry.MetricKey, 0, len(ci.stats))
+			for k := range ci.stats {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool { return lessMetricKey(keys[a], keys[b]) })
+			group := make([]telemetry.WindowStats, 0, len(keys))
+			for _, k := range keys {
+				group = append(group, ci.stats[k])
 			}
 			groups = append(groups, group)
 		}
@@ -330,6 +346,16 @@ func (g *Global) snapshotIngest() [][]telemetry.WindowStats {
 	}
 	g.pendingClusters.Store(0)
 	return groups
+}
+
+func lessMetricKey(a, b telemetry.MetricKey) bool {
+	if a.Service != b.Service {
+		return a.Service < b.Service
+	}
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.Cluster < b.Cluster
 }
 
 func (g *Global) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -361,6 +387,9 @@ func (g *Global) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		st.Clusters = append(st.Clusters, c)
 	}
 	g.mu.Unlock()
+	// The status payload is wire-visible JSON: emit clusters in a stable
+	// order rather than whatever the map range produced.
+	sort.Slice(st.Clusters, func(i, j int) bool { return st.Clusters[i] < st.Clusters[j] })
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
 }

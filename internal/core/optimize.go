@@ -276,16 +276,16 @@ func buildFormulation(top *topology.Topology, app *appgraph.App, cfg Config, dem
 		}
 		for j := range clusters {
 			var terms []lp.Term
-			for sd, v := range f.flow[ni] {
+			f.forEachFlow(ni, func(sd srcDst, v lp.Var) {
 				if sd.i == j {
 					terms = append(terms, lp.Term{Var: v, Coef: 1})
 				}
-			}
-			for sd, v := range f.flow[nr.parent] {
+			})
+			f.forEachFlow(nr.parent, func(sd srcDst, v lp.Var) {
 				if sd.j == j {
 					terms = append(terms, lp.Term{Var: v, Coef: -float64(nr.node.Count)})
 				}
-			}
+			})
 			if len(terms) == 0 {
 				continue
 			}
@@ -335,7 +335,7 @@ func buildFormulation(top *topology.Topology, app *appgraph.App, cfg Config, dem
 	loadTerms := make(map[PoolKey][]lp.Term)
 	for ni, nr := range f.nodes {
 		mst := nr.node.Work.MeanServiceTime.Seconds()
-		for sd, v := range f.flow[ni] {
+		f.forEachFlow(ni, func(sd srcDst, v lp.Var) {
 			key := PoolKey{Service: nr.node.Service, Cluster: clusters[sd.j]}
 			pr := f.poolIdx[key]
 			scale := 1.0
@@ -344,7 +344,7 @@ func buildFormulation(top *topology.Topology, app *appgraph.App, cfg Config, dem
 			}
 			loadTerms[key] = append(loadTerms[key], lp.Term{Var: v, Coef: scale})
 			pr.linkTerms = append(pr.linkTerms, linkTerm{v: v, mst: mst})
-		}
+		})
 	}
 	for _, pr := range f.pools {
 		terms := append([]lp.Term{{Var: pr.loadVar, Coef: -1}}, loadTerms[pr.key]...)
@@ -362,7 +362,7 @@ func buildFormulation(top *topology.Topology, app *appgraph.App, cfg Config, dem
 	// PWL delay prices all requests at the pool's reference service
 	// time; a class whose service time differs by Δτ adds Δτ per call).
 	for ni, nr := range f.nodes {
-		for sd, v := range f.flow[ni] {
+		f.forEachFlow(ni, func(sd srcDst, v lp.Var) {
 			ci, cj := clusters[sd.i], clusters[sd.j]
 			var obj float64
 			if ci != cj {
@@ -374,7 +374,7 @@ func buildFormulation(top *topology.Topology, app *appgraph.App, cfg Config, dem
 			if obj != 0 { //slate:nolint floatcmp -- sparsity: only exactly-zero coefficients are skippable
 				model.SetObj(v, obj)
 			}
-		}
+		})
 	}
 	// No per-class service-time term is added: scaling pool load by
 	// τ/τ̄ already makes heavy classes consume proportionally more PWL
@@ -396,9 +396,9 @@ func buildFormulation(top *topology.Topology, app *appgraph.App, cfg Config, dem
 		}
 		bigM := demand.Total(nr.class.Name)*mult + 1
 		bySrc := make(map[int][]srcDst)
-		for sd := range f.flow[ni] {
+		f.forEachFlow(ni, func(sd srcDst, _ lp.Var) {
 			bySrc[sd.i] = append(bySrc[sd.i], sd)
-		}
+		})
 		srcs := make([]int, 0, len(bySrc))
 		for i := range bySrc {
 			srcs = append(srcs, i)
@@ -429,6 +429,21 @@ func buildFormulation(top *topology.Topology, app *appgraph.App, cfg Config, dem
 	return f, nil
 }
 
+// forEachFlow visits node ni's flow variables in (src, dst) index
+// order. f.flow is a map for sparse lookup, but its consumers build LP
+// rows and accumulate floats — both order-sensitive — so nothing may
+// observe map iteration order. All iteration over f.flow goes through
+// this helper.
+func (f *formulation) forEachFlow(ni int, fn func(sd srcDst, v lp.Var)) {
+	for i := range f.clusters {
+		for j := range f.clusters {
+			if v, ok := f.flow[ni][srcDst{i, j}]; ok {
+				fn(srcDst{i, j}, v)
+			}
+		}
+	}
+}
+
 // statusErr maps a non-optimal solve status to the caller-facing error.
 func (f *formulation) statusErr(sol *lp.Solution) error {
 	switch sol.Status {
@@ -455,10 +470,10 @@ func (f *formulation) extract(sol *lp.Solution, demand Demand, version uint64) *
 		if nr.parent == -1 {
 			continue
 		}
-		for sd, v := range f.flow[ni] {
+		f.forEachFlow(ni, func(sd srcDst, v lp.Var) {
 			x := sol.Value(v)
 			if x <= 1e-9 {
-				continue
+				return
 			}
 			k := routing.Key{
 				Service: string(nr.node.Service),
@@ -469,7 +484,7 @@ func (f *formulation) extract(sol *lp.Solution, demand Demand, version uint64) *
 				ruleFlows[k] = make(ruleAgg)
 			}
 			ruleFlows[k][clusters[sd.j]] += x
-		}
+		})
 	}
 	rules := make(map[routing.Key]routing.Distribution, len(ruleFlows))
 	for k, agg := range ruleFlows {
@@ -518,10 +533,10 @@ func (f *formulation) extract(sol *lp.Solution, demand Demand, version uint64) *
 			if nr.class != cl {
 				continue
 			}
-			for sd, v := range f.flow[ni] {
+			f.forEachFlow(ni, func(sd srcDst, v lp.Var) {
 				x := sol.Value(v)
 				if x <= 0 {
-					continue
+					return
 				}
 				key := PoolKey{Service: nr.node.Service, Cluster: clusters[sd.j]}
 				pr := f.poolIdx[key]
@@ -539,23 +554,23 @@ func (f *formulation) extract(sol *lp.Solution, demand Demand, version uint64) *
 					lat += f.top.RTT(clusters[sd.i], clusters[sd.j]).Seconds()
 				}
 				agg += x * lat
-			}
+			})
 		}
 		plan.PredictedMeanLatency[cl.Name] = time.Duration(agg / total * float64(time.Second))
 	}
 	for ni, nr := range f.nodes {
-		for sd, v := range f.flow[ni] {
+		f.forEachFlow(ni, func(sd srcDst, v lp.Var) {
 			if sd.i == sd.j {
-				continue
+				return
 			}
 			x := sol.Value(v)
 			if x <= 0 {
-				continue
+				return
 			}
 			bytes := float64(nr.node.Work.RequestBytes + nr.node.Work.ResponseBytes)
 			plan.EgressBytesPerSecond += x * bytes
 			plan.EgressPerSecond += x * f.top.EgressCost(clusters[sd.i], clusters[sd.j], int64(bytes))
-		}
+		})
 	}
 	return plan
 }

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/appgraph"
@@ -23,11 +24,20 @@ import (
 // cluster, in requests/second: Demand[class][cluster].
 type Demand map[string]map[topology.ClusterID]float64
 
-// Total returns the summed demand of one class across clusters.
+// Total returns the summed demand of one class across clusters. The
+// sum iterates clusters in sorted order: it lands on LP constraint
+// right-hand sides, and float addition in map order would make the
+// formulation depend on iteration order.
 func (d Demand) Total(class string) float64 {
+	m := d[class]
+	ids := make([]topology.ClusterID, 0, len(m))
+	for c := range m {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var sum float64
-	for _, v := range d[class] {
-		sum += v
+	for _, c := range ids {
+		sum += m[c]
 	}
 	return sum
 }

@@ -35,6 +35,8 @@ func newHistogram(bounds []float64) *Histogram {
 
 // Observe records one value. Values above the last bound land in the
 // implicit +Inf bucket. NaN observations are dropped.
+//
+//slate:hot
 func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {
 		return

@@ -75,6 +75,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//slate:hot
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
@@ -89,9 +91,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//slate:hot
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by d (CAS loop; lock-free).
+//
+//slate:hot
 func (g *Gauge) Add(d float64) {
 	for {
 		old := g.bits.Load()
@@ -116,7 +122,10 @@ type family struct {
 	series map[labelKey]any // *Counter | *Gauge | *Histogram
 }
 
-// get returns the series for key, creating it on first use.
+// get returns the series for key, creating it on first use. The warm
+// lookup is a read-locked map hit on a comparable array key.
+//
+//slate:hot
 func (f *family) get(key labelKey) any {
 	f.mu.RLock()
 	m, ok := f.series[key]
@@ -124,11 +133,20 @@ func (f *family) get(key labelKey) any {
 	if ok {
 		return m
 	}
+	return f.create(key)
+}
+
+// create mints the series for key under the write lock: the
+// once-per-label-set slow path of get.
+//
+//slate:cold
+func (f *family) create(key labelKey) any {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if m, ok = f.series[key]; ok {
+	if m, ok := f.series[key]; ok {
 		return m
 	}
+	var m any
 	switch f.kind {
 	case kindCounter:
 		m = &Counter{}
@@ -249,6 +267,8 @@ type CounterVec struct{ fam *family }
 // name, in registration order). A warm lookup is allocation-free; hold
 // the returned *Counter on hot paths anyway when the label set is
 // fixed.
+//
+//slate:hot
 func (v *CounterVec) With(values ...string) *Counter {
 	return v.fam.get(v.fam.key(values)).(*Counter)
 }
@@ -257,6 +277,8 @@ func (v *CounterVec) With(values ...string) *Counter {
 type GaugeVec struct{ fam *family }
 
 // With returns the gauge for the given label values.
+//
+//slate:hot
 func (v *GaugeVec) With(values ...string) *Gauge {
 	return v.fam.get(v.fam.key(values)).(*Gauge)
 }
@@ -265,6 +287,8 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 type HistogramVec struct{ fam *family }
 
 // With returns the histogram for the given label values.
+//
+//slate:hot
 func (v *HistogramVec) With(values ...string) *Histogram {
 	return v.fam.get(v.fam.key(values)).(*Histogram)
 }

@@ -47,7 +47,6 @@ type Distribution struct {
 // non-negative and sum to a positive value; they are normalized to 1.
 func NewDistribution(weights map[topology.ClusterID]float64) (Distribution, error) {
 	var d Distribution
-	var sum float64
 	for c, w := range weights {
 		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 			// Return the zero value, not the partially built d: a caller
@@ -57,18 +56,25 @@ func NewDistribution(weights map[topology.ClusterID]float64) (Distribution, erro
 		}
 		if w > 0 {
 			d.clusters = append(d.clusters, c)
-			sum += w
 		}
 	}
-	if sum <= 0 {
+	if len(d.clusters) == 0 {
 		return Distribution{}, fmt.Errorf("routing: distribution has no positive weights")
+	}
+	sort.Slice(d.clusters, func(i, j int) bool { return d.clusters[i] < d.clusters[j] })
+	// Sum in sorted-cluster order, not map order: float addition is not
+	// associative, so a map-order sum would make the normalized weights
+	// (and everything downstream, like rule fingerprints) depend on map
+	// iteration order.
+	var sum float64
+	for _, c := range d.clusters {
+		sum += weights[c]
 	}
 	if math.IsInf(sum, 0) {
 		// Individually finite weights can still overflow the sum, and
 		// normalizing by +Inf would zero every weight.
 		return Distribution{}, fmt.Errorf("routing: distribution weights overflow")
 	}
-	sort.Slice(d.clusters, func(i, j int) bool { return d.clusters[i] < d.clusters[j] })
 	d.weights = make([]float64, len(d.clusters))
 	for i, c := range d.clusters {
 		d.weights[i] = weights[c] / sum
@@ -83,10 +89,20 @@ func NewDistribution(weights map[topology.ClusterID]float64) (Distribution, erro
 var localCache sync.Map // topology.ClusterID -> Distribution
 
 // Local returns a distribution sending 100% to one cluster.
+//
+//slate:hot
 func Local(c topology.ClusterID) Distribution {
-	if d, ok := localCache.Load(c); ok {
+	if d, ok := localCache.Load(c); ok { //slate:nolint hotalloc -- sync.Map.Load does not retain its key, so escape analysis keeps the boxed ClusterID on the stack; the warm path is pinned at zero allocs by AllocsPerRun
 		return d.(Distribution)
 	}
+	return internLocal(c)
+}
+
+// internLocal builds and interns the single-cluster distribution: the
+// once-per-cluster slow path of Local.
+//
+//slate:cold
+func internLocal(c topology.ClusterID) Distribution {
 	d := Distribution{clusters: []topology.ClusterID{c}, weights: []float64{1}}
 	actual, _ := localCache.LoadOrStore(c, d)
 	return actual.(Distribution)
@@ -94,6 +110,8 @@ func Local(c topology.ClusterID) Distribution {
 
 // Pick maps a uniform draw u in [0, 1) to a destination cluster.
 // Deterministic: the same u always picks the same cluster.
+//
+//slate:hot
 func (d Distribution) Pick(u float64) topology.ClusterID {
 	if len(d.clusters) == 0 {
 		return ""
@@ -125,6 +143,8 @@ func (d Distribution) Clusters() []topology.ClusterID {
 }
 
 // IsZero reports whether the distribution routes nothing.
+//
+//slate:hot
 func (d Distribution) IsZero() bool { return len(d.clusters) == 0 }
 
 func (d Distribution) String() string {
@@ -172,6 +192,8 @@ func EmptyTable() *Table { return NewTable(0, nil) }
 // Lookup resolves the distribution for a request of the given class for
 // service svc arriving in cluster c: exact class rule, else AnyClass
 // rule, else 100% local.
+//
+//slate:hot
 func (t *Table) Lookup(svc, class string, c topology.ClusterID) Distribution {
 	if d, ok := t.rules[Key{svc, class, c}]; ok {
 		return d

@@ -2,9 +2,22 @@ package routing
 
 import (
 	"math"
+	"sort"
 
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
+
+// sortedClusters returns m's keys in sorted order. Float accumulation
+// over delta maps goes through this so no distance or blend depends on
+// map iteration order.
+func sortedClusters[V any](m map[topology.ClusterID]V) []topology.ClusterID {
+	ids := make([]topology.ClusterID, 0, len(m))
+	for c := range m {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
 
 // Delta describes how one rule changed between two tables.
 type Delta struct {
@@ -18,8 +31,8 @@ type Delta struct {
 // traffic that changes destination.
 func (d Delta) TotalMove() float64 {
 	var sum float64
-	for _, m := range d.Moves {
-		sum += math.Abs(m)
+	for _, c := range sortedClusters(d.Moves) {
+		sum += math.Abs(d.Moves[c])
 	}
 	return sum / 2
 }
@@ -35,8 +48,13 @@ func Diff(old, new *Table) []Delta {
 	for k := range new.rules {
 		keys[k] = true
 	}
-	var out []Delta
+	ordered := make([]Key, 0, len(keys))
 	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return lessKeyD(ordered[i], ordered[j]) })
+	var out []Delta
+	for _, k := range ordered {
 		ow := old.Lookup(k.Service, k.Class, k.Cluster).Weights()
 		nw := new.Lookup(k.Service, k.Class, k.Cluster).Weights()
 		moves := map[topology.ClusterID]float64{}
@@ -60,16 +78,8 @@ func Diff(old, new *Table) []Delta {
 			out = append(out, Delta{Key: k, Moves: moves})
 		}
 	}
-	sortDeltas(out)
+	// out is already sorted: it was built by iterating ordered keys.
 	return out
-}
-
-func sortDeltas(ds []Delta) {
-	for i := 1; i < len(ds); i++ {
-		for j := i; j > 0 && lessKeyD(ds[j].Key, ds[j-1].Key); j-- {
-			ds[j], ds[j-1] = ds[j-1], ds[j]
-		}
-	}
 }
 
 func lessKeyD(a, b Key) bool {
@@ -112,7 +122,8 @@ func Step(cur, target *Table, maxStep float64) *Table {
 		for c := range nw {
 			all[c] = true
 		}
-		for c := range all {
+		ids := sortedClusters(all)
+		for _, c := range ids {
 			move += math.Abs(nw[c] - ow[c])
 		}
 		move /= 2
@@ -121,7 +132,7 @@ func Step(cur, target *Table, maxStep float64) *Table {
 			alpha = maxStep / move
 		}
 		blend := make(map[topology.ClusterID]float64, len(all))
-		for c := range all {
+		for _, c := range ids {
 			w := ow[c] + alpha*(nw[c]-ow[c])
 			if w > 1e-12 {
 				blend[c] = w

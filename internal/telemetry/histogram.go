@@ -60,6 +60,8 @@ func DefaultHistogram() *Histogram {
 }
 
 // Record adds one observation.
+//
+//slate:hot
 func (h *Histogram) Record(d time.Duration) {
 	if d < 0 {
 		d = 0

@@ -1,0 +1,45 @@
+// Package fixture exercises the call-graph builder: direct calls,
+// method values, interface dispatch, recursion, and //slate:hot /
+// //slate:cold reachability.
+package fixture
+
+type runner interface{ run() }
+
+type alpha struct{}
+
+func (alpha) run() { shared() }
+
+type beta struct{}
+
+func (*beta) run() {}
+
+// dispatch calls through the interface: the method-set approximation
+// must produce edges to both alpha.run and (*beta).run.
+func dispatch(r runner) { r.run() }
+
+// methodValue returns a bound method value: a ref edge, not a call.
+func methodValue() func() {
+	a := alpha{}
+	return a.run
+}
+
+// recurse exercises cycle tolerance in reachability.
+func recurse(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return recurse(n-1) + helperA()
+}
+
+func helperA() int { return helperB() }
+func helperB() int { return 0 }
+func shared()      {}
+
+//slate:hot
+func hotRoot() { dispatch(alpha{}) }
+
+//slate:cold
+func coldStop() int { return helperB() }
+
+// viaCold reaches helperB only through the cold barrier.
+func viaCold() int { return coldStop() }

@@ -1,0 +1,102 @@
+// Package fixture exercises the hotalloc analyzer: functions reachable
+// from a //slate:hot root must be allocation-free.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+type entry struct {
+	key string
+	val int
+}
+
+type table struct {
+	entries []entry
+	scratch []int
+	grown   int
+}
+
+// Lookup is a hot root, like the real routing.Table.Lookup. The
+// sort.Search comparator captures but goes straight into a stdlib
+// call, so it stays on the stack: no finding.
+//
+//slate:hot
+func (t *table) Lookup(key string) int {
+	idx := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].key >= key })
+	if idx < len(t.entries) && t.entries[idx].key == key {
+		return t.entries[idx].val
+	}
+	return t.miss(key)
+}
+
+// miss is not annotated, but it is reachable from Lookup and inherits
+// hotness through the call graph.
+func (t *table) miss(key string) int {
+	msg := "miss: " + key // want `string concatenation allocates`
+	_ = msg
+	buf := make([]int, 4) // want `make allocates`
+	_ = buf
+	// Self-append into a field amortizes (the kernel's heap/free-list
+	// idiom): exempt.
+	t.scratch = append(t.scratch, len(key))
+	var local []int
+	local = append(local, 1) // want `append may grow its backing array`
+	_ = local
+	fmt.Println(key) // want `fmt\.Println formats through interfaces and allocates`
+	t.grow()
+	return 0
+}
+
+// grow is the sanctioned slow path: //slate:cold stops hot
+// propagation, so the allocation inside is not flagged.
+//
+//slate:cold
+func (t *table) grow() {
+	chunk := make([]entry, 16)
+	t.entries = append(t.entries, chunk...)
+	t.grown++
+}
+
+type handler struct {
+	pending []func()
+}
+
+func record(v any) {}
+
+// enqueue is hot and demonstrates boxing, escaping closures, and
+// composite literals.
+//
+//slate:hot
+func (h *handler) enqueue(n int, name string) {
+	record(n)                      // want `passing int to interface parameter .* boxes it on the heap`
+	p := &entry{key: name, val: n} // want `&composite literal allocates`
+	_ = p
+	weights := []float64{1} // want `slice literal allocates`
+	_ = weights
+	seen := map[string]bool{} // want `map literal allocates`
+	_ = seen
+	h.pending = append(h.pending, func() { record(nil); _ = n }) // want `capturing closure escapes and allocates its context`
+	if n < 0 {
+		// Allocations on the panic path are exempt: the cost of dying
+		// is irrelevant.
+		panic(fmt.Sprintf("negative count %d for %s", n, name))
+	}
+}
+
+// coolPath is NOT reachable from any //slate:hot root: allocate away.
+func coolPath(names []string) string {
+	out := ""
+	for _, n := range names {
+		out += n + ","
+	}
+	return fmt.Sprintf("[%s]", out)
+}
+
+// suppressed shows //slate:nolint working against hotalloc.
+//
+//slate:hot
+func suppressed() []int {
+	return make([]int, 8) //slate:nolint hotalloc -- fixture: demonstrates suppression
+}

@@ -1,0 +1,107 @@
+// Package fixture exercises the lockorder analyzer: cross-function
+// lock-acquisition cycles between mutex classes.
+package fixture
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+type b struct{ mu sync.Mutex }
+
+type pair struct {
+	x a
+	y b
+}
+
+// lockXY acquires (fixture.a).mu then (fixture.b).mu.
+func (p *pair) lockXY() {
+	p.x.mu.Lock()
+	defer p.x.mu.Unlock()
+	p.y.mu.Lock() // want `lock-order cycle between \(fixture\.a\)\.mu, \(fixture\.b\)\.mu`
+	defer p.y.mu.Unlock()
+}
+
+// lockYX inverts the order: together with lockXY this is the classic
+// two-mutex deadlock.
+func (p *pair) lockYX() {
+	p.y.mu.Lock()
+	defer p.y.mu.Unlock()
+	p.x.mu.Lock()
+	defer p.x.mu.Unlock()
+}
+
+type c struct{ mu sync.Mutex }
+type d struct{ mu sync.Mutex }
+
+type deep struct {
+	c c
+	d d
+}
+
+// lockCD holds c.mu across a call whose callee acquires d.mu: the edge
+// comes from the transitive acquisition set, not a direct Lock.
+func (q *deep) lockCD() {
+	q.c.mu.Lock()
+	q.helper() // want `lock-order cycle between \(fixture\.c\)\.mu, \(fixture\.d\)\.mu`
+	q.c.mu.Unlock()
+}
+
+func (q *deep) helper() {
+	q.d.mu.Lock()
+	q.d.mu.Unlock()
+}
+
+// lockDC closes the cycle through another callee.
+func (q *deep) lockDC() {
+	q.d.mu.Lock()
+	q.lockC()
+	q.d.mu.Unlock()
+}
+
+func (q *deep) lockC() {
+	q.c.mu.Lock()
+	q.c.mu.Unlock()
+}
+
+type stripe struct{ mu sync.Mutex }
+
+// swap nests two locks of the same class: two goroutines swapping
+// (s1, s2) and (s2, s1) deadlock.
+func swap(s1, s2 *stripe) {
+	s1.mu.Lock()
+	s2.mu.Lock() // want `acquiring a second \(fixture\.stripe\)\.mu while one is held`
+	s2.mu.Unlock()
+	s1.mu.Unlock()
+}
+
+type e struct{ mu sync.Mutex }
+type f struct{ mu sync.Mutex }
+
+type ordered struct {
+	e e
+	f f
+}
+
+// consistent always acquires e before f — a DAG, no finding.
+func (o *ordered) consistent() {
+	o.e.mu.Lock()
+	defer o.e.mu.Unlock()
+	o.f.mu.Lock()
+	defer o.f.mu.Unlock()
+}
+
+// consistentToo repeats the same order elsewhere: still no cycle.
+func (o *ordered) consistentToo() {
+	o.e.mu.Lock()
+	o.f.mu.Lock()
+	o.f.mu.Unlock()
+	o.e.mu.Unlock()
+}
+
+// sequential releases each stripe before the next — the snapshot
+// pattern — so no same-class nesting is reported.
+func sequential(ss []*stripe) {
+	for _, s := range ss {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+}
