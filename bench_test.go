@@ -150,6 +150,14 @@ func BenchmarkChaos(b *testing.B) {
 		"availability_gain", "hardened_recovery_s")
 }
 
+// BenchmarkParallelDES regenerates the parallel-simulator scaling
+// figure: serial vs 1/2/4/8-shard wall time on a generated 16-cluster
+// scenario, plus the GOMAXPROCS-independence fingerprint check.
+func BenchmarkParallelDES(b *testing.B) {
+	runFigure(b, experiments.ParallelDES,
+		"speedup_shards_8", "serial_wall_ms", "wall_ms_shards_8", "determinism_ok")
+}
+
 // --- Micro-benchmarks of the hot paths -------------------------------
 
 // BenchmarkOptimizerSolve measures the global controller's per-period

@@ -68,6 +68,11 @@ const (
 	// DistDeterministic uses the mean as a fixed service time (M/D/1),
 	// closer to the paper's file-write microbenchmark services.
 	DistDeterministic
+	// DistPareto draws heavy-tailed (Lomax / Pareto type II) service
+	// times with shape Work.TailAlpha and the same mean — the realistic
+	// regime for planet-scale services, where rare slow requests
+	// dominate tail latency (TraDE-style dynamics).
+	DistPareto
 )
 
 func (d TimeDist) String() string {
@@ -76,6 +81,8 @@ func (d TimeDist) String() string {
 		return "exponential"
 	case DistDeterministic:
 		return "deterministic"
+	case DistPareto:
+		return "pareto"
 	default:
 		return fmt.Sprintf("TimeDist(%d)", int(d))
 	}
@@ -89,6 +96,10 @@ type Work struct {
 	MeanServiceTime time.Duration
 	// Dist selects the service-time distribution.
 	Dist TimeDist
+	// TailAlpha is the Pareto shape for DistPareto (must be > 1 so the
+	// mean exists; 1.5–2.5 are typical heavy-tail fits). Ignored by the
+	// other distributions.
+	TailAlpha float64
 	// RequestBytes is the size of the request sent to this service.
 	RequestBytes int64
 	// ResponseBytes is the size of the response this service returns to

@@ -447,5 +447,7 @@ func All() map[string]func(Options) (*Figure, error) {
 		"scalability":        Scalability,
 		"autoscaler":         AutoscalerInteraction,
 		"chaos":              Chaos,
+		"pardes":             ParallelDES,
+		"pardes-1m":          ParallelDES1M,
 	}
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "math/rand"
+import (
+	"math"
+	"math/rand"
+)
 
 // RNG is a deterministic random stream for simulation models. Each model
 // component should own its own stream (derived from the scenario seed via
@@ -60,6 +63,24 @@ func (g *RNG) Exp(mean float64) float64 {
 		return 0
 	}
 	return g.r.ExpFloat64() * mean
+}
+
+// Pareto returns a heavy-tailed draw with the given mean from a Lomax
+// (Pareto type II) distribution with shape alpha. The scale is chosen
+// as mean*(alpha-1) so the mean is preserved for any alpha > 1; smaller
+// alpha means a heavier tail (the variance is infinite for alpha <= 2).
+// alpha <= 1 is clamped to 1.05 — the mean would otherwise diverge.
+func (g *RNG) Pareto(mean, alpha float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if alpha <= 1 {
+		alpha = 1.05
+	}
+	u := g.r.Float64()
+	// Inverse CDF of Lomax: x = scale * ((1-u)^(-1/alpha) - 1).
+	scale := mean * (alpha - 1)
+	return scale * (math.Pow(1-u, -1/alpha) - 1)
 }
 
 // Norm returns a normal draw with the given mean and standard deviation,

@@ -262,6 +262,46 @@ func (k *Kernel) RunUntil(deadline Time) {
 	}
 }
 
+// RunBefore executes events with timestamps strictly before deadline,
+// then advances the clock to deadline. It is the half-open variant of
+// RunUntil used by Group windows: a conservative window [T, T+L) may
+// not execute events at exactly T+L, because a cross-shard message with
+// that timestamp may still be in flight.
+//
+//slate:hot
+func (k *Kernel) RunBefore(deadline Time) {
+	k.stopped = false
+	for len(k.heap) > 0 && !k.stopped {
+		if k.heap[0].at >= deadline {
+			break
+		}
+		ev := k.popTop()
+		if ev.dead {
+			k.recycle(ev)
+			continue
+		}
+		fn := ev.fn
+		k.now = ev.at
+		k.nEvents++
+		k.live--
+		k.recycle(ev)
+		fn(k)
+	}
+	if !k.stopped && k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// peek reports the timestamp of the earliest scheduled slot (which may
+// be a lazily-cancelled event — callers use peek only as a conservative
+// lower bound on the next firing).
+func (k *Kernel) peek() (Time, bool) {
+	if len(k.heap) == 0 {
+		return 0, false
+	}
+	return k.heap[0].at, true
+}
+
 // Step executes exactly one pending event (skipping cancelled ones) and
 // reports whether an event fired.
 //

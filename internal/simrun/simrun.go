@@ -84,6 +84,11 @@ type Scenario struct {
 	// errors abort span export for the rest of the run but not the run
 	// itself.
 	SpanSink SpanSink
+	// Dynamics lists scheduled replica-pool changes on virtual time —
+	// pod churn, rolling restarts, hotspot capacity migration. Each event
+	// resizes one pool at its timestamp (generated TraDE-style scenarios
+	// use these heavily; see internal/scenario).
+	Dynamics []PoolEvent
 	// MeasureWire accounts, per control tick, the bytes the control
 	// plane would have moved under both distribution strategies — full
 	// table fan-out + full telemetry fan-in versus per-cluster rule
@@ -96,6 +101,17 @@ type Scenario struct {
 // SpanSink receives exported trace spans (see obs.SpanWriter).
 type SpanSink interface {
 	WriteSpan(telemetry.Span) error
+}
+
+// PoolEvent is one scheduled replica-pool change: at virtual time At,
+// the (Service, Cluster) pool is resized to Replicas replicas (each
+// keeping its configured per-replica concurrency). Running jobs finish;
+// queued jobs start into new slots immediately on growth.
+type PoolEvent struct {
+	At       time.Duration
+	Service  appgraph.ServiceID
+	Cluster  topology.ClusterID
+	Replicas int
 }
 
 // Validate checks the scenario.
@@ -124,6 +140,23 @@ func (s *Scenario) Validate() error {
 		}
 		if !s.Top.Has(spec.Cluster) {
 			return fmt.Errorf("simrun: workload references unknown cluster %q", spec.Cluster)
+		}
+	}
+	for _, ev := range s.Dynamics {
+		if ev.At < 0 || ev.At > s.Duration {
+			return fmt.Errorf("simrun: dynamics event at %v outside [0, duration]", ev.At)
+		}
+		if ev.Replicas < 1 {
+			return fmt.Errorf("simrun: dynamics event for %s@%s wants %d replicas, need >= 1",
+				ev.Service, ev.Cluster, ev.Replicas)
+		}
+		svc := s.App.Service(ev.Service)
+		if svc == nil {
+			return fmt.Errorf("simrun: dynamics event references unknown service %q", ev.Service)
+		}
+		if !svc.PlacedIn(ev.Cluster) {
+			return fmt.Errorf("simrun: dynamics event for %s@%s, but the service is not placed there",
+				ev.Service, ev.Cluster)
 		}
 	}
 	return validateAutoscaler(s.Autoscaler)
@@ -187,6 +220,8 @@ type Result struct {
 	// Wire totals the control-plane bytes both distribution strategies
 	// would have sent (nil unless Scenario.MeasureWire).
 	Wire *WireStats
+	// Parallel reports sharded-execution statistics (nil for serial runs).
+	Parallel *ParallelStats
 }
 
 // WireStats compares control-plane wire cost over a run: the monolithic
@@ -290,6 +325,8 @@ func drawServiceTime(rng *sim.RNG, w appgraph.Work) time.Duration {
 	switch w.Dist {
 	case appgraph.DistDeterministic:
 		return w.MeanServiceTime
+	case appgraph.DistPareto:
+		return time.Duration(rng.Pareto(w.MeanServiceTime.Seconds(), w.TailAlpha) * float64(time.Second))
 	default:
 		return time.Duration(rng.Exp(w.MeanServiceTime.Seconds()) * float64(time.Second))
 	}
@@ -330,8 +367,7 @@ func Run(scn Scenario, pol Policy) (*Result, error) {
 	r.sink = scn.SpanSink
 	if scn.MeasureWire {
 		r.res.Wire = &WireStats{}
-		r.wirePrevSent = make(map[topology.ClusterID]*routing.Table)
-		r.wirePrevStats = make(map[topology.ClusterID][]telemetry.WindowStats)
+		r.wire = newWireMeter(r.res.Wire)
 	}
 	reg := obs.Default()
 	r.mDegraded = reg.Counter("slate_sim_degraded_calls_total",
@@ -374,6 +410,18 @@ func Run(scn Scenario, pol Policy) (*Result, error) {
 			})
 			r.res.Generated++
 		}
+	}
+
+	// Scheduled pool dynamics (churn, migration).
+	for _, ev := range scn.Dynamics {
+		ev := ev
+		conc := scalerConc(scn, core.PoolKey{Service: ev.Service, Cluster: ev.Cluster})
+		if conc < 1 {
+			conc = 1
+		}
+		k.At(sim.Time(ev.At), func(k *sim.Kernel) {
+			r.pools[core.PoolKey{Service: ev.Service, Cluster: ev.Cluster}].resize(k, ev.Replicas*conc)
+		})
 	}
 
 	// Autoscaler loop.
@@ -429,7 +477,7 @@ func Run(scn Scenario, pol Policy) (*Result, error) {
 					}
 				}
 				if scn.MeasureWire {
-					r.measureWire(groups, scn.Top.ClusterIDs(), scn.ControlPeriod)
+					r.wire.tick(r.table, groups, scn.Top.ClusterIDs(), scn.ControlPeriod)
 				}
 			}
 			if now.Duration()+scn.ControlPeriod < scn.Duration {
@@ -479,12 +527,8 @@ type runner struct {
 	// reached that cluster's proxies; see degradedAt.
 	lastFresh map[topology.ClusterID]sim.Time
 
-	// Wire-measurement state (MeasureWire): the last table slice
-	// "pushed" to each cluster, each cluster's last telemetry window,
-	// and the report epoch.
-	wirePrevSent  map[topology.ClusterID]*routing.Table
-	wirePrevStats map[topology.ClusterID][]telemetry.WindowStats
-	wireEpoch     uint64
+	// wire accounts control-plane bytes when MeasureWire is set.
+	wire *wireMeter
 
 	remoteCalls, totalCalls uint64
 	localServed             map[topology.ClusterID]uint64
@@ -741,6 +785,15 @@ func (r *runner) fallbackCluster(svc appgraph.ServiceID, src topology.ClusterID)
 // recordTimeline folds one control window's end-to-end stats into the
 // result's timeline.
 func (r *runner) recordTimeline(at time.Duration, stats []telemetry.WindowStats, window time.Duration) {
+	if pt, ok := timelineFrom(at, stats, window); ok {
+		r.res.Timeline = append(r.res.Timeline, pt)
+	}
+}
+
+// timelineFrom summarizes one control window's end-to-end stats into a
+// timeline point (shared by the serial and parallel runners). ok is
+// false when the window saw no completed requests.
+func timelineFrom(at time.Duration, stats []telemetry.WindowStats, window time.Duration) (TimelinePoint, bool) {
 	var latSum float64
 	var n uint64
 	for _, ws := range stats {
@@ -751,57 +804,78 @@ func (r *runner) recordTimeline(at time.Duration, stats []telemetry.WindowStats,
 		n += ws.Requests
 	}
 	if n == 0 {
-		return
+		return TimelinePoint{}, false
 	}
-	r.res.Timeline = append(r.res.Timeline, TimelinePoint{
+	return TimelinePoint{
 		At:   at,
 		Mean: time.Duration(latSum / float64(n) * float64(time.Second)),
 		RPS:  float64(n) / window.Seconds(),
-	})
+	}, true
 }
 
-// measureWire accounts one control tick's wire bytes under both
-// distribution strategies. groups holds each cluster's flushed window,
-// aligned with clusters. The incremental side mirrors the live control
-// plane exactly: a full patch / full report on a cluster's first tick,
-// deltas after, empty patches still counted (they renew freshness).
-func (r *runner) measureWire(groups [][]telemetry.WindowStats, clusters []topology.ClusterID, window time.Duration) {
-	w := r.res.Wire
-	r.wireEpoch++
-	full, err := json.Marshal(r.table)
+// wireMeter accounts control-plane wire bytes under both distribution
+// strategies, one control tick at a time. Shared by the serial and
+// parallel runners (the parallel runner ticks it at window barriers).
+type wireMeter struct {
+	w *WireStats
+	// prevSent is the last table slice "pushed" to each cluster;
+	// prevStats each cluster's last telemetry window; epoch the report
+	// sequence number.
+	prevSent  map[topology.ClusterID]*routing.Table
+	prevStats map[topology.ClusterID][]telemetry.WindowStats
+	epoch     uint64
+}
+
+func newWireMeter(w *WireStats) *wireMeter {
+	return &wireMeter{
+		w:         w,
+		prevSent:  make(map[topology.ClusterID]*routing.Table),
+		prevStats: make(map[topology.ClusterID][]telemetry.WindowStats),
+	}
+}
+
+// tick accounts one control tick's wire bytes under both distribution
+// strategies. groups holds each cluster's flushed window, aligned with
+// clusters. The incremental side mirrors the live control plane
+// exactly: a full patch / full report on a cluster's first tick, deltas
+// after, empty patches still counted (they renew freshness).
+func (m *wireMeter) tick(table *routing.Table, groups [][]telemetry.WindowStats, clusters []topology.ClusterID, window time.Duration) {
+	w := m.w
+	m.epoch++
+	full, err := json.Marshal(table)
 	if err != nil {
 		return
 	}
 	w.FullTableBytes += int64(len(full)) * int64(len(clusters))
 	for i, c := range clusters {
-		desired := r.table.Restrict(c)
-		patch := routing.MakePatch(r.wirePrevSent[c], desired)
+		desired := table.Restrict(c)
+		patch := routing.MakePatch(m.prevSent[c], desired)
 		w.PatchBytes += int64(patch.WireBytes())
-		r.wirePrevSent[c] = desired
+		m.prevSent[c] = desired
 
 		stats := groups[i]
 		rep := controlplane.MetricsReport{
-			Cluster: c, WindowMS: window.Milliseconds(), Epoch: r.wireEpoch, Stats: stats,
+			Cluster: c, WindowMS: window.Milliseconds(), Epoch: m.epoch, Stats: stats,
 		}
 		fullRep, err := json.Marshal(rep)
 		if err != nil {
 			continue
 		}
 		w.FullTelemetryBytes += int64(len(fullRep))
-		prev, seen := r.wirePrevStats[c]
+		prev, seen := m.prevStats[c]
 		if !seen {
 			w.DeltaTelemetryBytes += int64(len(fullRep))
 		} else {
 			changed, removed := telemetry.DeltaReport(prev, stats, 1e-9)
 			deltaRep, err := json.Marshal(controlplane.MetricsReport{
 				Cluster: c, WindowMS: window.Milliseconds(), Delta: true,
-				Epoch: r.wireEpoch, Stats: changed, Removed: removed,
+				Epoch: m.epoch, Stats: changed, Removed: removed,
 			})
 			if err == nil {
 				w.DeltaTelemetryBytes += int64(len(deltaRep))
 			}
 		}
-		r.wirePrevStats[c] = stats
+		m.prevStats[c] = stats
 	}
 }
 

@@ -26,7 +26,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MICRO='^(BenchmarkOptimizerSolve|BenchmarkSimplexTransportation|BenchmarkDESThroughput|BenchmarkRoutingPick|BenchmarkHistogramRecord|BenchmarkMMcSojourn)'
-FIGURES='^(BenchmarkFig|BenchmarkHeadline|BenchmarkAblation|BenchmarkBurstReaction|BenchmarkScalability|BenchmarkAutoscalerInteraction|BenchmarkChaos)'
+FIGURES='^(BenchmarkFig|BenchmarkHeadline|BenchmarkAblation|BenchmarkBurstReaction|BenchmarkScalability|BenchmarkAutoscalerInteraction|BenchmarkChaos|BenchmarkParallelDES)'
 
 OUT=""
 BASELINE=""
@@ -102,7 +102,10 @@ emit() {
     echo "  \"go\": \"$(go env GOVERSION)\","
     echo "  \"rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
     if [ -n "$BASELINE" ]; then
-        echo "  \"baseline\": $(cat "$BASELINE"),"
+        # Embed the previous snapshot with its own baseline stripped, so
+        # snapshots never nest baseline-inside-baseline (BENCH_5.json
+        # accumulated a chain before benchgate enforced this).
+        echo "  \"baseline\": $(go run ./scripts/benchgate.go -emit-baseline "$BASELINE"),"
     fi
     echo "  \"benchmarks\": ["
     printf '%s' "$json"

@@ -1,0 +1,200 @@
+// Command benchgate is the CI perf-regression gate over bench.sh JSON
+// snapshots (BENCH_<n>.json).
+//
+// Modes:
+//
+//	go run ./scripts/benchgate.go -check new.json [-against BENCH_7.json]
+//	    Gate: compare the pinned hot-path benchmarks in new.json against
+//	    a baseline (the explicit -against file, or the snapshot embedded
+//	    under "baseline" in new.json). Fails (exit 1) if any pinned
+//	    benchmark regresses ns/op by more than -max-regress (default
+//	    15%), increases allocs/op at all, or disappeared.
+//
+//	go run ./scripts/benchgate.go -flatten BENCH_5.json
+//	    Rewrite the file keeping at most one level of embedded baseline
+//	    (historical snapshots accumulated baseline-inside-baseline).
+//	    Idempotent: flattening a flat file writes identical bytes.
+//
+//	go run ./scripts/benchgate.go -emit-baseline BENCH_7.json
+//	    Print the snapshot with its own "baseline" key stripped, for
+//	    embedding into the next snapshot (bench.sh -baseline uses this
+//	    so nesting can never recur).
+//
+// The pinned set tracks the //slate:hot paths the simulator and data
+// plane spend their cycles in; figure benchmarks are excluded (their
+// wall time is scenario work, not a regression signal).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// pinned are the benchmarks the gate enforces. ns/op may not regress
+// more than the -max-regress fraction; allocs/op may not increase at
+// all (the DES hot path is required to stay zero-alloc).
+var pinned = []string{
+	"BenchmarkDESThroughput",
+	"BenchmarkRoutingPick",
+	"BenchmarkHistogramRecord",
+	"BenchmarkOptimizerSolve/warm",
+}
+
+// Snapshot mirrors the JSON bench.sh emits.
+type Snapshot struct {
+	GeneratedUnix int64       `json:"generated_unix"`
+	Go            string      `json:"go,omitempty"`
+	Rev           string      `json:"rev,omitempty"`
+	Baseline      *Snapshot   `json:"baseline,omitempty"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one result line.
+type Benchmark struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iters"`
+	NsOp     *float64           `json:"ns_op,omitempty"`
+	BOp      *float64           `json:"b_op,omitempty"`
+	AllocsOp *float64           `json:"allocs_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+func (s *Snapshot) find(name string) *Benchmark {
+	for i := range s.Benchmarks {
+		if s.Benchmarks[i].Name == name {
+			return &s.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// flatten truncates the baseline chain to one level: the snapshot keeps
+// its immediate baseline, and that baseline keeps none.
+func flatten(s *Snapshot) {
+	if s.Baseline != nil {
+		s.Baseline.Baseline = nil
+	}
+}
+
+// compare gates cur against base and returns one line per violation.
+func compare(cur, base *Snapshot, maxRegress float64) []string {
+	var problems []string
+	for _, name := range pinned {
+		nb := cur.find(name)
+		bb := base.find(name)
+		if bb == nil || bb.NsOp == nil {
+			// Nothing pinned in the baseline yet — first snapshot after
+			// adding a benchmark. Not a regression.
+			continue
+		}
+		if nb == nil || nb.NsOp == nil {
+			problems = append(problems,
+				fmt.Sprintf("%s: missing from the new snapshot (present in baseline)", name))
+			continue
+		}
+		if limit := *bb.NsOp * (1 + maxRegress); *nb.NsOp > limit {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %.4g ns/op exceeds baseline %.4g ns/op by more than %.0f%% (limit %.4g)",
+				name, *nb.NsOp, *bb.NsOp, maxRegress*100, limit))
+		}
+		if bb.AllocsOp != nil {
+			na := 0.0
+			if nb.AllocsOp != nil {
+				na = *nb.AllocsOp
+			}
+			if na > *bb.AllocsOp {
+				problems = append(problems, fmt.Sprintf(
+					"%s: allocs/op grew %.0f -> %.0f (any increase fails: hot paths stay alloc-free)",
+					name, *bb.AllocsOp, na))
+			}
+		}
+	}
+	return problems
+}
+
+func load(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func marshal(s *Snapshot) []byte {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic(err) // Snapshot contains nothing unmarshalable
+	}
+	return append(buf, '\n')
+}
+
+func main() {
+	var (
+		check        = flag.String("check", "", "snapshot to gate")
+		against      = flag.String("against", "", "explicit baseline snapshot (default: the one embedded in -check)")
+		maxRegress   = flag.Float64("max-regress", 0.15, "max allowed fractional ns/op regression on pinned benchmarks")
+		flattenPath  = flag.String("flatten", "", "rewrite this snapshot with nested baselines stripped")
+		emitBaseline = flag.String("emit-baseline", "", "print this snapshot without its baseline key (for embedding)")
+	)
+	flag.Parse()
+
+	switch {
+	case *flattenPath != "":
+		s, err := load(*flattenPath)
+		if err != nil {
+			fatal(err)
+		}
+		flatten(s)
+		if err := os.WriteFile(*flattenPath, marshal(s), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: flattened %s\n", *flattenPath)
+
+	case *emitBaseline != "":
+		s, err := load(*emitBaseline)
+		if err != nil {
+			fatal(err)
+		}
+		s.Baseline = nil
+		os.Stdout.Write(marshal(s))
+
+	case *check != "":
+		cur, err := load(*check)
+		if err != nil {
+			fatal(err)
+		}
+		base := cur.Baseline
+		if *against != "" {
+			if base, err = load(*against); err != nil {
+				fatal(err)
+			}
+		}
+		if base == nil {
+			fatal(fmt.Errorf("%s embeds no baseline and no -against given", *check))
+		}
+		problems := compare(cur, base, *maxRegress)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", p)
+		}
+		if len(problems) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: OK (%d pinned benchmarks within %.0f%%)\n",
+			len(pinned), *maxRegress*100)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

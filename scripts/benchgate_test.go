@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func f(v float64) *float64 { return &v }
+
+func snap(des, routing float64, desAllocs float64) *Snapshot {
+	return &Snapshot{
+		GeneratedUnix: 1700000000,
+		Go:            "go1.24.0",
+		Rev:           "abc1234",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkDESThroughput", Iters: 1000, NsOp: f(des), AllocsOp: f(desAllocs)},
+			{Name: "BenchmarkRoutingPick", Iters: 1000, NsOp: f(routing), AllocsOp: f(0)},
+			{Name: "BenchmarkHistogramRecord", Iters: 1000, NsOp: f(8.6), AllocsOp: f(0)},
+			{Name: "BenchmarkOptimizerSolve/warm", Iters: 100, NsOp: f(127226), AllocsOp: f(120)},
+			{Name: "BenchmarkFig3", Iters: 1, NsOp: f(1e9)}, // not pinned: never gated
+		},
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := snap(9.6, 49.8, 0)
+	cur := snap(9.6*1.14, 49.8*0.9, 0) // +14% is inside the 15% fence
+	if problems := compare(cur, base, 0.15); len(problems) != 0 {
+		t.Fatalf("in-threshold drift flagged: %v", problems)
+	}
+}
+
+func TestGateFailsTwentyPercentRegression(t *testing.T) {
+	base := snap(9.6, 49.8, 0)
+	cur := snap(9.6*1.20, 49.8, 0)
+	problems := compare(cur, base, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "BenchmarkDESThroughput") {
+		t.Fatalf("20%% DESThroughput regression not caught: %v", problems)
+	}
+}
+
+func TestGateFailsAnyAllocIncrease(t *testing.T) {
+	base := snap(9.6, 49.8, 0)
+	cur := snap(9.6, 49.8, 1) // 0 -> 1 allocs/op on the DES hot path
+	problems := compare(cur, base, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op grew") {
+		t.Fatalf("alloc increase not caught: %v", problems)
+	}
+	// ns/op got *faster* but allocations appeared: still a failure.
+	cur = snap(5.0, 40.0, 1)
+	if problems := compare(cur, base, 0.15); len(problems) != 1 {
+		t.Fatalf("alloc increase masked by speedup: %v", problems)
+	}
+}
+
+func TestGateFailsMissingPinnedBenchmark(t *testing.T) {
+	base := snap(9.6, 49.8, 0)
+	cur := snap(9.6, 49.8, 0)
+	cur.Benchmarks = cur.Benchmarks[1:] // drop DESThroughput
+	problems := compare(cur, base, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing") {
+		t.Fatalf("missing pinned benchmark not caught: %v", problems)
+	}
+}
+
+func TestGateSkipsBenchmarksNewToThisSnapshot(t *testing.T) {
+	base := snap(9.6, 49.8, 0)
+	base.Benchmarks = base.Benchmarks[1:] // baseline predates DESThroughput
+	cur := snap(9.6, 49.8, 0)
+	if problems := compare(cur, base, 0.15); len(problems) != 0 {
+		t.Fatalf("benchmark absent from baseline flagged: %v", problems)
+	}
+}
+
+func TestFlattenIdempotent(t *testing.T) {
+	// Build a 3-deep chain like the historical BENCH_5.json.
+	inner := snap(9.0, 48.0, 0)
+	mid := snap(9.3, 49.0, 0)
+	mid.Baseline = inner
+	top := snap(9.6, 49.8, 0)
+	top.Baseline = mid
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, marshal(top), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatten(s)
+	first := marshal(s)
+	if err := os.WriteFile(path, first, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Baseline == nil || s2.Baseline.Baseline != nil {
+		t.Fatalf("flatten kept depth != 1: %+v", s2.Baseline)
+	}
+	flatten(s2)
+	if second := marshal(s2); !bytes.Equal(first, second) {
+		t.Error("flattening a flat snapshot changed its bytes")
+	}
+}
+
+func TestSnapshotRoundTripPreservesBenchSHShape(t *testing.T) {
+	// The emitter's field names are the contract with bench.sh's awk
+	// parser; a rename would silently break both the gate and the
+	// embedded baselines.
+	raw := []byte(`{
+  "generated_unix": 1700000001,
+  "go": "go1.24.0",
+  "rev": "deadbee",
+  "benchmarks": [
+    {"name": "BenchmarkDESThroughput", "iters": 5, "ns_op": 9.6, "b_op": 0, "allocs_op": 0},
+    {"name": "BenchmarkFig3", "iters": 1, "ns_op": 2e9, "metrics": {"aggressive_penalty_at_740rps_ms": 3.4}}
+  ]
+}`)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.find("BenchmarkDESThroughput"); got == nil || *got.NsOp != 9.6 || *got.AllocsOp != 0 { //slate:nolint floatcmp -- JSON round trip copies the literals verbatim
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	out := string(marshal(s))
+	for _, key := range []string{`"generated_unix"`, `"ns_op"`, `"allocs_op"`, `"metrics"`, `"iters"`} {
+		if !strings.Contains(out, key) {
+			t.Errorf("marshaled snapshot lost key %s", key)
+		}
+	}
+	if strings.Contains(out, `"baseline"`) {
+		t.Error("empty baseline serialized explicitly")
+	}
+}
