@@ -10,14 +10,19 @@
 package slate_test
 
 import (
+	"sort"
 	"testing"
 	"time"
 
 	slate "github.com/servicelayernetworking/slate"
+	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/core"
 	"github.com/servicelayernetworking/slate/internal/experiments"
 	"github.com/servicelayernetworking/slate/internal/lp"
 	"github.com/servicelayernetworking/slate/internal/queuemodel"
 	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/scenario"
+	"github.com/servicelayernetworking/slate/internal/search"
 	"github.com/servicelayernetworking/slate/internal/sim"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
 	"github.com/servicelayernetworking/slate/internal/topology"
@@ -300,5 +305,101 @@ func BenchmarkMMcSojourn(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.SojournSeconds(float64(i % 6000))
+	}
+}
+
+// BenchmarkSearchReoptimize measures the anytime local-search optimizer
+// re-optimizing the 64-cluster × 32-class generated formulation from a
+// warm incumbent after a demand perturbation — the regime where the
+// simplex needs a cold solve but the search needs only an incremental
+// SetDemand plus a bounded move loop. The loop must stay allocation-free
+// (the move path is //slate:hot); the result is deterministic per seed.
+func BenchmarkSearchReoptimize(b *testing.B) {
+	g, err := scenario.Generate(scenario.GenSpec{
+		Seed:            42,
+		Clusters:        64,
+		Regions:         8,
+		Services:        128,
+		Classes:         32,
+		Spread:          3,
+		Replicas:        3,
+		Concurrency:     8,
+		TotalRPS:        200000,
+		ArrivalSpread:   2,
+		RemoteFraction:  0.1,
+		MeanServiceTime: 2 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	demand := core.Demand{}
+	for _, sp := range g.Workload {
+		if r := sp.RateAt(0); r > 0 {
+			if demand[sp.Class] == nil {
+				demand[sp.Class] = map[topology.ClusterID]float64{}
+			}
+			demand[sp.Class][sp.Cluster] += r
+		}
+	}
+	profiles := core.DefaultProfiles(g.App, g.Top, demand)
+	poolFn := func(svc appgraph.ServiceID, c topology.ClusterID) (search.PoolParams, bool) {
+		prof, ok := profiles.Get(svc, c)
+		if !ok {
+			return search.PoolParams{}, false
+		}
+		segs, err := queuemodel.Linearize(prof.Model, nil)
+		if err != nil {
+			return search.PoolParams{}, false
+		}
+		return search.PoolParams{Ref: prof.RefServiceTime.Seconds(), Segs: segs}, true
+	}
+	se := search.New(g.Top, g.App, search.Params{LatencyWeight: 1})
+	if err := se.Reset(demand, poolFn, g.Table); err != nil {
+		b.Fatal(err)
+	}
+	se.Run(1 << 14) // settle the incumbent
+
+	// The perturbation set: every class's first arrival cluster, in
+	// deterministic order.
+	type key struct {
+		class string
+		cl    topology.ClusterID
+		rps   float64
+	}
+	var keys []key
+	classes := make([]string, 0, len(demand))
+	for class := range demand {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		cls := make([]topology.ClusterID, 0, len(demand[class]))
+		for c := range demand[class] {
+			cls = append(cls, c)
+		}
+		sort.Slice(cls, func(i, j int) bool { return cls[i] < cls[j] })
+		keys = append(keys, key{class, cls[0], demand[class][cls[0]]})
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := 1.2
+		if i%2 == 1 {
+			f = 0.9
+		}
+		for _, k := range keys {
+			if err := se.SetDemand(k.class, k.cl, k.rps*f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res := se.Run(512)
+		if res.Evals == 0 && res.Moves == 0 && !res.Converged {
+			b.Fatal("search did no work")
+		}
+	}
+	b.StopTimer()
+	if !se.Run(1 << 12).Feasible {
+		b.Fatal("search left an infeasible table")
 	}
 }

@@ -8,6 +8,7 @@
 //	slatectl -scenario scenario.json -cost-weight 1e4 -json
 //	slatectl -scenario scenario.json -policy waterfall -threshold 0.8
 //	slatectl metrics 127.0.0.1:7000        # scrape a live daemon
+//	slatectl optstats 127.0.0.1:7000       # solver win counters
 //	slatectl diff old-table.json new-table.json
 package main
 
@@ -34,6 +35,12 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "metrics" {
 		if err := scrapeMetrics(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "optstats" {
+		if err := optStats(os.Stdout, os.Args[2:]); err != nil {
 			fatal(err)
 		}
 		return
@@ -131,7 +138,19 @@ func scrapeMetrics(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: slatectl metrics <addr>")
 	}
-	u := args[0]
+	body, err := fetchMetrics(args[0])
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.WriteString(body)
+	return err
+}
+
+// fetchMetrics GETs a daemon's Prometheus exposition. addr may be a
+// bare host:port or a full base URL; the /metrics/prom path is appended
+// unless already present.
+func fetchMetrics(addr string) (string, error) {
+	u := addr
 	if !strings.Contains(u, "://") {
 		u = "http://" + u
 	}
@@ -142,19 +161,76 @@ func scrapeMetrics(args []string) error {
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return err
+		return "", err
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("%s: status %d: %s", u, resp.StatusCode, strings.TrimSpace(string(body)))
+		return "", fmt.Errorf("%s: status %d: %s", u, resp.StatusCode, strings.TrimSpace(string(body)))
 	}
-	_, err = io.Copy(os.Stdout, resp.Body)
-	return err
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// optStats scrapes a daemon's metrics endpoint and prints the solver
+// win counters (`slatectl optstats <addr>`): how the controller's dirty
+// shards were served — anytime search wins, simplex fallbacks, search
+// candidates abandoned for missing the configured gap — alongside the
+// warm/cold LP solve and subproblem skip counters.
+func optStats(w io.Writer, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: slatectl optstats <addr>")
+	}
+	body, err := fetchMetrics(args[0])
+	if err != nil {
+		return err
+	}
+	vals := map[string]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || !strings.HasPrefix(fields[0], "slate_global_") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[1], "%g", &v); err == nil {
+			vals[fields[0]] = v
+		}
+	}
+	rows := []struct{ label, metric string }{
+		{"search solves (race won)", "slate_global_search_solves"},
+		{"simplex wins (race lost)", "slate_global_search_simplex_wins"},
+		{"search abandoned (gap/infeasible)", "slate_global_search_gap_abandoned"},
+		{"LP warm solves", "slate_global_lp_warm_solves"},
+		{"LP cold solves", "slate_global_lp_cold_solves"},
+		{"subproblems", "slate_global_subproblems"},
+		{"subproblem solves", "slate_global_subproblem_solves"},
+		{"subproblem skips", "slate_global_subproblem_skips"},
+	}
+	found := false
+	for _, r := range rows {
+		v, ok := vals[r.metric]
+		if !ok {
+			continue
+		}
+		found = true
+		fmt.Fprintf(w, "%-34s %12.0f\n", r.label, v)
+	}
+	if !found {
+		return fmt.Errorf("no slate_global_* solver metrics at %s (is this a global controller?)", args[0])
+	}
+	search, simplex := vals["slate_global_search_solves"], vals["slate_global_search_simplex_wins"]
+	if raced := search + simplex; raced > 0 {
+		fmt.Fprintf(w, "%-34s %11.1f%%\n", "search win rate", 100*search/raced)
+	}
+	return nil
 }
 
 // diffTables loads two routing-table JSON files (as emitted by

@@ -146,6 +146,9 @@ type Global struct {
 	mShards      *obs.Gauge
 	mSubSolves   *obs.Gauge
 	mSkipSolves  *obs.Gauge
+	mSearchWins  *obs.Gauge
+	mSimplexWins *obs.Gauge
+	mGapAbandons *obs.Gauge
 	mStaleGroups *obs.Gauge
 	mPushDur     *obs.HistogramVec
 	mPatchBytes  *obs.CounterVec
@@ -193,6 +196,12 @@ func NewGlobal(ctrl *core.Controller) *Global {
 			"Cumulative decomposed subproblem solves actually run."),
 		mSkipSolves: reg.Gauge("slate_global_subproblem_skips",
 			"Cumulative subproblem solves skipped because inputs were unchanged."),
+		mSearchWins: reg.Gauge("slate_global_search_solves",
+			"Cumulative dirty-shard solves served by the anytime local search."),
+		mSimplexWins: reg.Gauge("slate_global_search_simplex_wins",
+			"Cumulative raced solves where the search lost and the simplex ran."),
+		mGapAbandons: reg.Gauge("slate_global_search_gap_abandoned",
+			"Cumulative search candidates rejected (infeasible or beyond the configured gap)."),
 		mStaleGroups: reg.Gauge("slate_global_pending_reports",
 			"Clusters that reported telemetry not yet merged by a tick."),
 		mPushDur: reg.HistogramVec("slate_global_push_seconds",
@@ -428,6 +437,9 @@ func (g *Global) Tick(ctx context.Context) error {
 	g.mShards.Set(float64(solves.Shards))
 	g.mSubSolves.Set(float64(solves.SubSolves))
 	g.mSkipSolves.Set(float64(solves.SkippedSolves))
+	g.mSearchWins.Set(float64(solves.SearchSolves))
+	g.mSimplexWins.Set(float64(solves.SimplexWins))
+	g.mGapAbandons.Set(float64(solves.GapAbandoned))
 	g.mStaleGroups.Set(float64(g.pendingClusters.Load()))
 	g.mu.Unlock()
 

@@ -45,6 +45,19 @@ type ControllerConfig struct {
 	// decomposed subproblem reuses its previous solution (default
 	// DefaultSkipEpsilon). Only used with Decompose.
 	SkipEpsilon float64
+	// Search arms the anytime local-search optimizer as a race against
+	// the warm simplex on every dirty shard (implies the decomposed
+	// pipeline): search wins when it certifies a table within MaxGap of
+	// the LP optimum inside SearchDeadline, otherwise the simplex runs,
+	// and on both failing the incumbent table is held.
+	Search bool
+	// SearchDeadline is the per-shard search budget, converted to a
+	// deterministic evaluation count so the published table never
+	// depends on wall-clock time (default DefaultSearchDeadline).
+	SearchDeadline time.Duration
+	// MaxGap is the certified optimality gap a search result may carry
+	// and still win (default DefaultMaxGap).
+	MaxGap float64
 }
 
 // planner is the optimizer interface the controller drives: the
@@ -95,8 +108,12 @@ func NewController(top *topology.Topology, app *appgraph.App, cfg ControllerConf
 		cfg.GuardTolerance = 0.15
 	}
 	var opt planner = NewOptimizer(top, app, cfg.Optimizer)
-	if cfg.Decompose {
-		opt = NewShardedOptimizer(top, app, cfg.Optimizer, cfg.SkipEpsilon)
+	if cfg.Decompose || cfg.Search {
+		so := NewShardedOptimizer(top, app, cfg.Optimizer, cfg.SkipEpsilon)
+		if cfg.Search {
+			so.EnableSearch(RaceConfig{Deadline: cfg.SearchDeadline, MaxGap: cfg.MaxGap})
+		}
+		opt = so
 	}
 	return &Controller{
 		cfg:     cfg,

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/servicelayernetworking/slate/internal/routing"
+)
+
+// assign maps an externally produced routing table onto the
+// formulation's variable space: root flows carry the demand, each
+// deeper flow splits its caller's rate by the table's weights, pool
+// load variables sum their link terms, and PWL segment variables fill
+// greedily — overfilling the last segment, so a table that exceeds a
+// pool's utilization cap surfaces as an upper-bound violation in
+// Model.CheckFeasible rather than being silently clipped. It errors on
+// tables that lose flow (weight pointing at clusters without replicas,
+// or no usable rule for a triple that carries traffic).
+func (f *formulation) assign(table *routing.Table, demand Demand) ([]float64, error) {
+	if f.useMILP {
+		return nil, fmt.Errorf("core: cannot evaluate a table against a MILP formulation")
+	}
+	C := len(f.clusters)
+	x := make([]float64, f.model.NumVars())
+	exec := make([]float64, len(f.nodes)*C)
+	for ni, nr := range f.nodes {
+		row := exec[ni*C : (ni+1)*C]
+		if nr.parent == -1 {
+			for i, ci := range f.clusters {
+				d := demand[nr.class.Name][ci]
+				if d < 0 {
+					return nil, fmt.Errorf("core: negative demand for class %q in %s", nr.class.Name, ci)
+				}
+				if d > 0 {
+					v, ok := f.flow[ni][srcDst{i, i}]
+					if !ok {
+						return nil, fmt.Errorf("core: demand for class %q arrives in %s but frontend %q is not placed there",
+							nr.class.Name, ci, nr.node.Service)
+					}
+					x[v] = d
+					row[i] = d
+				}
+			}
+			continue
+		}
+		parentRow := exec[nr.parent*C : (nr.parent+1)*C]
+		count := float64(nr.node.Count)
+		for i := range f.clusters {
+			rate := count * parentRow[i]
+			if rate <= 0 {
+				continue
+			}
+			dist := table.Lookup(string(nr.node.Service), nr.class.Name, f.clusters[i])
+			var sumW float64
+			for j := range f.clusters {
+				if _, ok := f.flow[ni][srcDst{i, j}]; ok {
+					sumW += dist.Weight(f.clusters[j])
+				}
+			}
+			if sumW < 1-1e-6 {
+				return nil, fmt.Errorf("core: table loses flow for %s class %q from %s: only %.6f of its weight lands on placed clusters",
+					nr.node.Service, nr.class.Name, f.clusters[i], sumW)
+			}
+			for j := range f.clusters {
+				v, ok := f.flow[ni][srcDst{i, j}]
+				if !ok {
+					continue
+				}
+				if w := dist.Weight(f.clusters[j]); w > 0 {
+					amt := rate * w / sumW
+					x[v] += amt
+					row[j] += amt
+				}
+			}
+		}
+	}
+	for _, pr := range f.pools {
+		var load float64
+		for _, lt := range pr.linkTerms {
+			scale := 1.0
+			if pr.profile.RefServiceTime > 0 {
+				scale = lt.mst / pr.profile.RefServiceTime.Seconds()
+			}
+			load += scale * x[lt.v]
+		}
+		x[pr.loadVar] = load
+		rem := load
+		for si, v := range pr.segVars {
+			if si == len(pr.segVars)-1 {
+				x[v] = rem
+				break
+			}
+			take := math.Min(rem, pr.segs[si].Width)
+			x[v] = take
+			rem -= take
+		}
+	}
+	return x, nil
+}
+
+// EvaluateTable scores an externally produced routing table — e.g. one
+// built by the local-search optimizer, or hand-written — under the
+// problem's exact LP objective. It returns an error if the table is
+// infeasible for the problem (lost flow, violated conservation, or a
+// pool pushed past its utilization cap), and the LP objective value
+// otherwise, directly comparable to Plan.Objective from a simplex
+// solve of the same problem.
+func EvaluateTable(p *Problem, table *routing.Table) (float64, error) {
+	cfg := p.Config.normalized()
+	if p.Top == nil || p.App == nil {
+		return 0, fmt.Errorf("core: problem missing topology or app")
+	}
+	if table == nil {
+		return 0, fmt.Errorf("core: nil table")
+	}
+	if err := p.App.Validate(p.Top); err != nil {
+		return 0, fmt.Errorf("core: invalid app: %w", err)
+	}
+	f, err := buildFormulation(p.Top, p.App, cfg, p.Demand, p.Profiles)
+	if err != nil {
+		return 0, err
+	}
+	x, err := f.assign(table, p.Demand)
+	if err != nil {
+		return 0, err
+	}
+	if err := f.model.CheckFeasible(x, 1e-6); err != nil {
+		return 0, fmt.Errorf("core: table infeasible: %w", err)
+	}
+	return f.model.EvalObjective(x), nil
+}

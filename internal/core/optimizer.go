@@ -52,6 +52,15 @@ type OptimizerStats struct {
 	// SkippedSolves counts subproblem solves skipped because the
 	// shard's inputs were unchanged within epsilon.
 	SkippedSolves uint64
+	// SearchSolves counts dirty-shard solves served by the anytime
+	// local-search optimizer (race won within the certified gap).
+	SearchSolves uint64
+	// SimplexWins counts raced solves where search lost and the simplex
+	// produced the plan.
+	SimplexWins uint64
+	// GapAbandoned counts search candidates rejected before winning:
+	// infeasible tables, lost flow, or a certified gap above MaxGap.
+	GapAbandoned uint64
 }
 
 // NewOptimizer returns an Optimizer for a fixed topology, app, and
@@ -76,18 +85,8 @@ func (o *Optimizer) Optimize(demand Demand, profiles Profiles, version uint64) (
 		p := &Problem{Top: o.top, App: o.app, Demand: demand, Profiles: profiles, Config: o.cfg}
 		return p.Optimize(version)
 	}
-	if o.f == nil {
-		if err := o.build(demand, profiles); err != nil {
-			return nil, err
-		}
-	} else if err := o.f.update(demand, profiles); err != nil {
-		if !errors.Is(err, errStructureChanged) {
-			return nil, err
-		}
-		// E.g. the PWL segment count changed: rebuild and start cold.
-		if err := o.build(demand, profiles); err != nil {
-			return nil, err
-		}
+	if err := o.ensure(demand, profiles); err != nil {
+		return nil, err
 	}
 	sol, err := o.solver.SolveFrom(o.f.model, o.basis)
 	if err != nil {
@@ -107,6 +106,25 @@ func (o *Optimizer) Optimize(demand Demand, profiles Profiles, version uint64) (
 		return nil, err
 	}
 	return o.f.extract(sol, demand, version), nil
+}
+
+// ensure brings the cached formulation up to date with this tick's
+// demand and profiles without solving: build on first use, in-place
+// update after, full rebuild when the structure changed (e.g. the PWL
+// segment count moved). After ensure, o.f.model is exactly the LP the
+// simplex would solve — which is what lets the race score an external
+// table against it.
+func (o *Optimizer) ensure(demand Demand, profiles Profiles) error {
+	if o.f == nil {
+		return o.build(demand, profiles)
+	}
+	if err := o.f.update(demand, profiles); err != nil {
+		if !errors.Is(err, errStructureChanged) {
+			return err
+		}
+		return o.build(demand, profiles)
+	}
+	return nil
 }
 
 func (o *Optimizer) build(demand Demand, profiles Profiles) error {

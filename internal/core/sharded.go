@@ -9,6 +9,7 @@ import (
 	"github.com/servicelayernetworking/slate/internal/appgraph"
 	"github.com/servicelayernetworking/slate/internal/queuemodel"
 	"github.com/servicelayernetworking/slate/internal/routing"
+	"github.com/servicelayernetworking/slate/internal/search"
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
 
@@ -38,6 +39,7 @@ type ShardedOptimizer struct {
 	skipEps float64
 	shards  []*shard
 	single  bool // fell back to one shard (frontend called at a non-root position)
+	race    *RaceConfig
 	stats   OptimizerStats
 }
 
@@ -48,8 +50,9 @@ type shard struct {
 	classes []*appgraph.Class
 	app     *appgraph.App
 	opt     *Optimizer
-	fp      []float64 // inputs of the last successful solve
-	plan    *Plan     // result of the last successful solve
+	search  *search.Optimizer // lazily built when the race is armed
+	fp      []float64         // inputs of the last successful solve
+	plan    *Plan             // result of the last successful solve
 }
 
 // DefaultSkipEpsilon is the relative input-change threshold below which
@@ -198,7 +201,7 @@ func (s *ShardedOptimizer) Optimize(demand Demand, profiles Profiles, version ui
 			plans[i] = sh.plan
 			continue
 		}
-		plan, err := sh.opt.Optimize(demand, profiles, version)
+		plan, err := s.solveShard(sh, demand, profiles, version)
 		if err != nil {
 			return nil, err
 		}

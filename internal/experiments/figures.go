@@ -449,5 +449,6 @@ func All() map[string]func(Options) (*Figure, error) {
 		"chaos":              Chaos,
 		"pardes":             ParallelDES,
 		"pardes-1m":          ParallelDES1M,
+		"gapcurve":           GapCurve,
 	}
 }

@@ -1,0 +1,82 @@
+package search
+
+// Addressable binary max-heap over rule (triple) indices, ordered by
+// violation score descending with rule index ascending as the
+// deterministic tie-break. hpPos maps rule → heap slot so a single
+// rule's score change is a O(log n) sift, not a rebuild. All rules stay
+// in the heap for their lifetime (a non-improving rule just carries
+// score 0), which keeps the bookkeeping branch-free.
+
+//slate:hot
+func (o *Optimizer) hpLess(a, b int32) bool {
+	sa, sb := o.score[a], o.score[b]
+	if sa != sb { //slate:nolint floatcmp -- heap order: exact tie falls through to the index tie-break
+		return sa > sb
+	}
+	return a < b
+}
+
+// hpInit heapifies all rules. Called after bulk rescoring.
+//
+//slate:hot
+func (o *Optimizer) hpInit() {
+	for i := 0; i < o.nRules; i++ {
+		o.hp[i] = int32(i)
+		o.hpPos[i] = int32(i)
+	}
+	for i := o.nRules/2 - 1; i >= 0; i-- {
+		o.hpDown(i)
+	}
+}
+
+// hpFix restores heap order after rule r's score changed.
+//
+//slate:hot
+func (o *Optimizer) hpFix(r int) {
+	i := int(o.hpPos[r])
+	if !o.hpUp(i) {
+		o.hpDown(i)
+	}
+}
+
+//slate:hot
+func (o *Optimizer) hpUp(i int) bool {
+	moved := false
+	for i > 0 {
+		p := (i - 1) / 2
+		if !o.hpLess(o.hp[i], o.hp[p]) {
+			break
+		}
+		o.hpSwap(i, p)
+		i = p
+		moved = true
+	}
+	return moved
+}
+
+//slate:hot
+func (o *Optimizer) hpDown(i int) {
+	n := o.nRules
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && o.hpLess(o.hp[l], o.hp[best]) {
+			best = l
+		}
+		if r < n && o.hpLess(o.hp[r], o.hp[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		o.hpSwap(i, best)
+		i = best
+	}
+}
+
+//slate:hot
+func (o *Optimizer) hpSwap(i, j int) {
+	o.hp[i], o.hp[j] = o.hp[j], o.hp[i]
+	o.hpPos[o.hp[i]] = int32(i)
+	o.hpPos[o.hp[j]] = int32(j)
+}

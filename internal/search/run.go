@@ -1,0 +1,400 @@
+package search
+
+// The anytime move loop. Run pops the most violated triple off the
+// score heap, evaluates a small set of candidate weight shifts for it
+// against the exact incremental objective, commits the best improving
+// one, and re-scores only the triples the move touched. Every
+// intermediate state is a complete routing table, so the loop can stop
+// at any evaluation budget. Everything here is allocation-free and
+// deterministic: flat preallocated arrays, epoch-stamped scratch, fixed
+// iteration order, index tie-breaks, and no wall-clock reads.
+
+// Run descends for at most budget candidate evaluations and returns the
+// exact state at exit. A fresh Reset (or SetDemand) must precede it.
+//
+//slate:hot
+func (o *Optimizer) Run(budget int) Result {
+	o.refresh()
+	o.initScores()
+	// Improvements below tol are noise; tie the threshold to the
+	// objective's scale once per run so the loop terminates crisply.
+	abs := o.obj
+	if abs < 0 {
+		abs = -abs
+	}
+	tol := 1e-9 * (1 + abs)
+
+	var res Result
+	for res.Evals < budget {
+		r := int(o.hp[0])
+		if o.score[r] <= tol {
+			// Heap converged under (approximate) scores: polish with a
+			// full deterministic sweep; only a clean sweep proves
+			// convergence.
+			improved := false
+			for ri := 0; ri < o.nRules && res.Evals < budget; ri++ {
+				if o.tryRule(ri, &res.Evals, tol) {
+					res.Moves++
+					improved = true
+				}
+			}
+			if !improved {
+				res.Converged = true
+				break
+			}
+			o.initScores()
+			continue
+		}
+		if o.tryRule(r, &res.Evals, tol) {
+			res.Moves++
+		} else {
+			// Exact evaluation rejected the first-order estimate; park
+			// the rule until a neighbor's change re-scores it.
+			o.score[r] = 0
+			o.hpFix(r)
+		}
+	}
+
+	// Full-precision refresh so the reported objective (and the table
+	// published from this state) carries zero incremental drift.
+	o.recompute()
+	res.Objective = o.obj
+	res.LowerBound = o.lowerBound
+	res.Feasible = o.feasible()
+	if o.obj > 0 {
+		res.Gap = (o.obj - o.lowerBound) / o.obj
+		if res.Gap < 0 {
+			res.Gap = 0
+		}
+	}
+	return res
+}
+
+// initScores computes the exact first-order score of every rule and
+// heapifies.
+//
+//slate:hot
+func (o *Optimizer) initScores() {
+	for r := 0; r < o.nRules; r++ {
+		o.score[r] = o.scoreOf(r)
+	}
+	o.hpInit()
+}
+
+// scoreOf estimates rule r's violation: the first-order objective gain
+// of shifting its movable weight from the most expensive placement slot
+// to the cheapest, scaled by that weight. Marginal slot costs combine
+// the destination pool's current PWL (or penalty) slope with the linear
+// per-call cost, summed over every call-tree node the rule routes.
+//
+//slate:hot
+func (o *Optimizer) scoreOf(r int) float64 {
+	p := &o.pairs[r/o.C]
+	src := r % o.C
+	if p.nDst < 2 {
+		return 0
+	}
+	if !o.slotCosts(p, src) {
+		return 0
+	}
+	base := p.wOff + src*p.nDst
+	hi, lo := -1, 0
+	for s := 0; s < p.nDst; s++ {
+		if o.w[base+s] > 1e-12 && (hi < 0 || o.mc[s] > o.mc[hi]) {
+			hi = s
+		}
+		if o.mc[s] < o.mc[lo] {
+			lo = s
+		}
+	}
+	if hi < 0 {
+		return 0
+	}
+	gain := o.mc[hi] - o.mc[lo]
+	if gain <= 0 {
+		return 0
+	}
+	return gain * o.w[base+hi]
+}
+
+// slotCosts fills o.mc (marginal objective cost per unit weight) and
+// o.rate (standard-load rate per unit weight at the slot's pool) for
+// rule (p, src). Returns false when the rule carries no traffic.
+//
+//slate:hot
+func (o *Optimizer) slotCosts(p *pair, src int) bool {
+	for s := 0; s < p.nDst; s++ {
+		o.mc[s] = 0
+		o.rate[s] = 0
+	}
+	any := false
+	for k := 0; k < p.nodeN; k++ {
+		nd := &o.nodes[o.pairNodes[p.nodeOff+k]]
+		cr := nd.count * o.inflow[nd.parent*o.C+src]
+		if cr <= 0 {
+			continue
+		}
+		any = true
+		for s := 0; s < p.nDst; s++ {
+			lr := cr * o.scale[nd.scOff+s]
+			o.rate[s] += lr
+			o.mc[s] += lr*o.margCost(o.dstPool[p.dstOff+s]) + cr*o.lin[nd.linOff+src*p.nDst+s]
+		}
+	}
+	return any
+}
+
+// margCost is the pool's current marginal delay cost per unit of
+// standard load: the active PWL segment's slope, or the overload
+// penalty at/beyond the utilization cap.
+//
+//slate:hot
+func (o *Optimizer) margCost(pl int) float64 {
+	si := o.segIdx[pl]
+	if si >= o.pools[pl].segN {
+		return o.penalty
+	}
+	return o.segS[o.pools[pl].segOff+si]
+}
+
+// tryRule attempts one improving move on rule r: pick the most
+// expensive weighted slot as source and the cheapest slot as
+// destination, evaluate a few candidate shift sizes exactly, and commit
+// the best if it beats tol. Returns whether a move was committed;
+// *evals is advanced per exact evaluation.
+//
+//slate:hot
+func (o *Optimizer) tryRule(r int, evals *int, tol float64) bool {
+	pi := r / o.C
+	p := &o.pairs[pi]
+	src := r % o.C
+	if p.nDst < 2 || !o.slotCosts(p, src) {
+		return false
+	}
+	base := p.wOff + src*p.nDst
+	sa, sb := -1, 0
+	for s := 0; s < p.nDst; s++ {
+		if o.w[base+s] > 1e-12 && (sa < 0 || o.mc[s] > o.mc[sa]) {
+			sa = s
+		}
+		if o.mc[s] < o.mc[sb] {
+			sb = s
+		}
+	}
+	if sa < 0 || sa == sb || o.mc[sa] <= o.mc[sb] {
+		return false
+	}
+	wA := o.w[base+sa]
+
+	// Candidate shift sizes: all of the source weight, two backoffs for
+	// curvature, the destination pool's headroom to its next breakpoint,
+	// and exactly the source pool's overload excess.
+	o.cand[0], o.cand[1], o.cand[2] = wA, wA*0.5, wA*0.125
+	nc := 3
+	plB := o.dstPool[p.dstOff+sb]
+	if si := o.segIdx[plB]; si < o.pools[plB].segN && o.rate[sb] > 0 {
+		if hr := o.segEnd[o.pools[plB].segOff+si] - o.load[plB]; hr > 0 {
+			if df := hr / o.rate[sb]; df < wA {
+				o.cand[nc] = df
+				nc++
+			}
+		}
+	}
+	plA := o.dstPool[p.dstOff+sa]
+	if ex := o.load[plA] - o.pools[plA].width; ex > 0 && o.rate[sa] > 0 {
+		if df := ex / o.rate[sa]; df < wA {
+			o.cand[nc] = df
+			nc++
+		}
+	}
+
+	bestDelta, bestDf := 0.0, 0.0
+	for _, df := range o.cand[:nc] {
+		if df <= 1e-15 {
+			continue
+		}
+		d := o.evalMove(pi, src, sa, sb, df)
+		o.revertMove(pi, src, sa, sb)
+		*evals++
+		if d < bestDelta {
+			bestDelta, bestDf = d, df
+		}
+	}
+	if bestDf <= 0 || bestDelta >= -tol {
+		return false
+	}
+	d := o.evalMove(pi, src, sa, sb, bestDf)
+	*evals++
+	o.commitMove(r, d)
+	return true
+}
+
+// evalMove applies the weight shift (pair pi, source src, df from slot
+// sa to slot sb) and computes the exact objective delta into scratch:
+// the touched subtree's new inflow rows land in sInflow under the
+// current epoch stamp, dirty pools accumulate load deltas, and nothing
+// in the committed state changes. Caller must follow with revertMove or
+// commitMove.
+//
+//slate:hot
+func (o *Optimizer) evalMove(pi, src, sa, sb int, df float64) float64 {
+	p := &o.pairs[pi]
+	base := p.wOff + src*p.nDst
+	o.savedWA, o.savedWB = o.w[base+sa], o.w[base+sb]
+	o.w[base+sa] -= df
+	if o.w[base+sa] < 0 {
+		o.w[base+sa] = 0
+	}
+	o.w[base+sb] += df
+
+	o.epoch++
+	o.dirtyN = 0
+	o.touchedN = 0
+	var linDelta float64
+	info := &o.classes[p.cls]
+	for n := info.n0; n < info.n1; n++ {
+		nd := &o.nodes[n]
+		if nd.parent < 0 {
+			continue
+		}
+		// A node is affected iff it routes the moved rule or sits below
+		// an affected node; preorder guarantees parents are stamped
+		// before children are visited.
+		if nd.pair != pi && o.nodeStamp[nd.parent] != o.epoch {
+			continue
+		}
+		o.nodeStamp[n] = o.epoch
+		o.touched[o.touchedN] = int32(n)
+		o.touchedN++
+
+		np := &o.pairs[nd.pair]
+		row := o.sInflow[n*o.C : (n+1)*o.C]
+		for j := range row {
+			row[j] = 0
+		}
+		var parentRow []float64
+		if o.nodeStamp[nd.parent] == o.epoch {
+			parentRow = o.sInflow[nd.parent*o.C : (nd.parent+1)*o.C]
+		} else {
+			parentRow = o.inflow[nd.parent*o.C : (nd.parent+1)*o.C]
+		}
+		var lin float64
+		for i := 0; i < o.C; i++ {
+			pr := parentRow[i]
+			if pr <= 0 {
+				continue
+			}
+			cr := nd.count * pr
+			wrow := o.w[np.wOff+i*np.nDst : np.wOff+(i+1)*np.nDst]
+			lrow := o.lin[nd.linOff+i*np.nDst : nd.linOff+(i+1)*np.nDst]
+			for s := 0; s < np.nDst; s++ {
+				ws := wrow[s]
+				if ws <= 0 {
+					continue
+				}
+				f := cr * ws
+				row[o.dstC[np.dstOff+s]] += f
+				lin += f * lrow[s]
+			}
+		}
+		linDelta += lin - o.linNode[n]
+		o.sLinNode[n] = lin
+
+		old := o.inflow[n*o.C : (n+1)*o.C]
+		for s := 0; s < np.nDst; s++ {
+			j := o.dstC[np.dstOff+s]
+			d := row[j] - old[j]
+			if d != 0 { //slate:nolint floatcmp -- sparsity: unchanged slot contributes no load delta
+				o.addPoolDelta(o.dstPool[np.dstOff+s], d*o.scale[nd.scOff+s])
+			}
+		}
+	}
+
+	delta := linDelta
+	for k := 0; k < o.dirtyN; k++ {
+		pl := int(o.dirtyPools[k])
+		c, si := o.poolCostAt(pl, o.load[pl]+o.poolDelta[pl])
+		o.sCost[pl] = c
+		o.sSeg[pl] = si
+		delta += c - o.cost[pl]
+	}
+	return delta
+}
+
+//slate:hot
+func (o *Optimizer) addPoolDelta(pl int, d float64) {
+	if o.poolStamp[pl] != o.epoch {
+		o.poolStamp[pl] = o.epoch
+		o.poolDelta[pl] = 0
+		o.dirtyPools[o.dirtyN] = int32(pl)
+		o.dirtyN++
+	}
+	o.poolDelta[pl] += d
+}
+
+// revertMove undoes the weight shift of the last evalMove; all other
+// scratch is invalidated by the next epoch bump.
+//
+//slate:hot
+func (o *Optimizer) revertMove(pi, src, sa, sb int) {
+	p := &o.pairs[pi]
+	base := p.wOff + src*p.nDst
+	o.w[base+sa] = o.savedWA
+	o.w[base+sb] = o.savedWB
+}
+
+// commitMove promotes the last evalMove into committed state and
+// re-scores the triples it disturbed: the moved rule itself, child
+// rules fed by every touched node, and — only when a pool's marginal
+// cost actually changed segment — every rule with a slot on that pool.
+//
+//slate:hot
+func (o *Optimizer) commitMove(r int, delta float64) {
+	o.rEpoch++
+	o.rescoreN = 0
+	o.addRescore(r)
+
+	for k := 0; k < o.touchedN; k++ {
+		n := int(o.touched[k])
+		copy(o.inflow[n*o.C:(n+1)*o.C], o.sInflow[n*o.C:(n+1)*o.C])
+		o.linNode[n] = o.sLinNode[n]
+		// Children's caller rates changed at this node's slot clusters.
+		np := &o.pairs[o.nodes[n].pair]
+		for c := o.childOff[n]; c < o.childOff[n+1]; c++ {
+			cp := o.nodes[o.children[c]].pair
+			for s := 0; s < np.nDst; s++ {
+				o.addRescore(cp*o.C + o.dstC[np.dstOff+s])
+			}
+		}
+	}
+	for k := 0; k < o.dirtyN; k++ {
+		pl := int(o.dirtyPools[k])
+		o.load[pl] += o.poolDelta[pl]
+		o.cost[pl] = o.sCost[pl]
+		if o.sSeg[pl] != o.segIdx[pl] {
+			o.segIdx[pl] = o.sSeg[pl]
+			// Marginal cost changed: every rule with a slot here is
+			// stale. (Within a segment the slope is constant, so this
+			// triggers rarely.)
+			for q := o.prOff[pl]; q < o.prOff[pl+1]; q++ {
+				o.addRescore(int(o.prList[q]))
+			}
+		}
+	}
+	o.obj += delta
+
+	for k := 0; k < o.rescoreN; k++ {
+		rr := int(o.rescore[k])
+		o.score[rr] = o.scoreOf(rr)
+		o.hpFix(rr)
+	}
+}
+
+//slate:hot
+func (o *Optimizer) addRescore(r int) {
+	if o.ruleStamp[r] != o.rEpoch {
+		o.ruleStamp[r] = o.rEpoch
+		o.rescore[o.rescoreN] = int32(r)
+		o.rescoreN++
+	}
+}

@@ -25,7 +25,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-MICRO='^(BenchmarkOptimizerSolve|BenchmarkSimplexTransportation|BenchmarkDESThroughput|BenchmarkRoutingPick|BenchmarkHistogramRecord|BenchmarkMMcSojourn)'
+MICRO='^(BenchmarkOptimizerSolve|BenchmarkSimplexTransportation|BenchmarkDESThroughput|BenchmarkRoutingPick|BenchmarkHistogramRecord|BenchmarkMMcSojourn|BenchmarkSearchReoptimize)'
 FIGURES='^(BenchmarkFig|BenchmarkHeadline|BenchmarkAblation|BenchmarkBurstReaction|BenchmarkScalability|BenchmarkAutoscalerInteraction|BenchmarkChaos|BenchmarkParallelDES)'
 
 OUT=""

@@ -40,6 +40,7 @@ var pinned = []string{
 	"BenchmarkRoutingPick",
 	"BenchmarkHistogramRecord",
 	"BenchmarkOptimizerSolve/warm",
+	"BenchmarkSearchReoptimize",
 }
 
 // Snapshot mirrors the JSON bench.sh emits.
