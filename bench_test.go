@@ -18,6 +18,7 @@ import (
 	"github.com/servicelayernetworking/slate/internal/appgraph"
 	"github.com/servicelayernetworking/slate/internal/core"
 	"github.com/servicelayernetworking/slate/internal/experiments"
+	"github.com/servicelayernetworking/slate/internal/forecast"
 	"github.com/servicelayernetworking/slate/internal/lp"
 	"github.com/servicelayernetworking/slate/internal/queuemodel"
 	"github.com/servicelayernetworking/slate/internal/routing"
@@ -163,6 +164,17 @@ func BenchmarkParallelDES(b *testing.B) {
 		"speedup_shards_8", "serial_wall_ms", "wall_ms_shards_8", "determinism_ok")
 }
 
+// BenchmarkRegret regenerates the demand-uncertainty evaluation: the
+// reactive / robust / predictive / robust+predictive controllers over
+// the stress suite (flash crowd, adversarial walk, diurnal swing,
+// correlated surge), scored as latency regret vs a clairvoyant oracle.
+func BenchmarkRegret(b *testing.B) {
+	runFigure(b, experiments.Regret,
+		"flash-crowd/reactive_worst_regret_ms", "flash-crowd/robust_worst_regret_ms",
+		"adversarial-walk/reactive_worst_regret_ms", "adversarial-walk/predictive_worst_regret_ms",
+		"diurnal/reactive_mean_regret_ms", "diurnal/predictive_mean_regret_ms")
+}
+
 // --- Micro-benchmarks of the hot paths -------------------------------
 
 // BenchmarkOptimizerSolve measures the global controller's per-period
@@ -210,6 +222,86 @@ func BenchmarkOptimizerSolve(b *testing.B) {
 			b.Fatalf("warm solves = %d of %d iterations", st.WarmSolves, b.N)
 		}
 	})
+}
+
+// BenchmarkRobustSolve measures the robust (Bertsimas–Sim budgeted
+// uncertainty) formulation on the same GCP-scale problem as
+// BenchmarkOptimizerSolve: a 25% demand margin with Γ=2. Cold rebuilds
+// the dualized LP from scratch; warm re-solves the cached formulation
+// with the robust rows rewritten in place — the steady-state cost of
+// running the control loop in robust mode.
+func BenchmarkRobustSolve(b *testing.B) {
+	top := slate.GCPTopology()
+	app := slate.LinearChain(slate.ChainOptions{
+		Services:        3,
+		MeanServiceTime: 10 * time.Millisecond,
+		Pool:            slate.ReplicaPool{Replicas: 2, Concurrency: 4},
+		Clusters:        top.ClusterIDs(),
+	})
+	demand := slate.Demand{"default": {
+		slate.OR: 1000, slate.UT: 100, slate.IOW: 1000, slate.SC: 100,
+	}}
+	profs := slate.DefaultProfiles(app, top, demand)
+	cfg := slate.OptimizerConfig{DemandMargin: 0.25, Budget: 2}
+
+	b.Run("cold", func(b *testing.B) {
+		prob := &slate.Problem{Top: top, App: app, Demand: demand, Profiles: profs, Config: cfg}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prob.Optimize(uint64(i + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		opt := slate.NewOptimizer(top, app, cfg)
+		if _, err := opt.Optimize(demand, profs, 1); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.Optimize(demand, profs, uint64(i+2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := opt.Stats()
+		if st.WarmSolves < uint64(b.N) {
+			b.Fatalf("warm solves = %d of %d iterations", st.WarmSolves, b.N)
+		}
+	})
+}
+
+// BenchmarkForecastObserve measures one telemetry observation folding
+// into Holt-Winters state — the most expensive of the three smoothing
+// models and a per-key, per-tick //slate:hot path that must stay
+// allocation-free after the key's first observation.
+func BenchmarkForecastObserve(b *testing.B) {
+	f := forecast.New(forecast.Config{Alpha: 0.5, Beta: 0.1, Gamma: 0.3, SeasonLength: 12})
+	k := forecast.Key{Class: "default", Cluster: "west"}
+	f.Observe(k, 100) // create the state outside the measured region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Observe(k, float64(400+i%200))
+	}
+}
+
+// BenchmarkForecastPredict measures one h=1 forecast extraction from
+// trained Holt-Winters state (pure arithmetic, //slate:hot).
+func BenchmarkForecastPredict(b *testing.B) {
+	f := forecast.New(forecast.Config{Alpha: 0.5, Beta: 0.1, Gamma: 0.3, SeasonLength: 12})
+	k := forecast.Key{Class: "default", Cluster: "west"}
+	for i := 0; i < 48; i++ {
+		f.Observe(k, 500+300*float64(i%12)/12)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f.Predict(k, 1) < 0 {
+			b.Fatal("negative forecast")
+		}
+	}
 }
 
 // BenchmarkSimplexTransportation measures the raw LP solver on a dense

@@ -34,6 +34,9 @@ func main() {
 		maxStep    = flag.Float64("max-step", 0.25, "max traffic weight moved per period per rule")
 		learn      = flag.Bool("learn-profiles", true, "fit latency profiles from telemetry")
 		guard      = flag.Bool("guard", true, "revert rule changes that regress the measured objective")
+		margin     = flag.Float64("robust-margin", 0, "robust mode: relative demand-uncertainty margin (0 disables; e.g. 0.25 hedges a 25% surge)")
+		budget     = flag.Int("robust-budget", 0, "robust mode: Bertsimas–Sim budget Γ — max classes surging per pool at once (0 = all, i.e. box uncertainty)")
+		predictive = flag.Bool("predictive", false, "plan for forecasted demand (Holt trend smoothing) instead of the last window's estimate alone")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
@@ -51,6 +54,10 @@ func main() {
 		MaxStep:         *maxStep,
 		LearnProfiles:   *learn,
 		GuardRegression: *guard,
+		Robust:          *margin > 0,
+		DemandMargin:    *margin,
+		Budget:          *budget,
+		Predictive:      *predictive,
 	})
 	if err != nil {
 		log.Fatalf("slate-global: %v", err)

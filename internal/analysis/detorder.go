@@ -18,7 +18,7 @@ var Detorder = &Analyzer{
 	Name: "detorder",
 	Doc: "flags map iteration feeding ordered sinks in " +
 		"determinism-critical packages (sim, core, routing, telemetry, " +
-		"controlplane, experiments); collect keys and sort them first",
+		"controlplane, experiments, forecast); collect keys and sort them first",
 	Run: runDetorder,
 }
 
@@ -33,6 +33,7 @@ var detorderCritical = []string{
 	"/internal/telemetry",
 	"/internal/controlplane",
 	"/internal/experiments",
+	"/internal/forecast",
 }
 
 func runDetorder(pass *Pass) {

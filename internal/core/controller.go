@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/forecast"
 	"github.com/servicelayernetworking/slate/internal/lp"
 	"github.com/servicelayernetworking/slate/internal/routing"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
@@ -58,6 +59,28 @@ type ControllerConfig struct {
 	// MaxGap is the certified optimality gap a search result may carry
 	// and still win (default DefaultMaxGap).
 	MaxGap float64
+	// Robust arms demand-uncertainty-aware optimization: tables are
+	// feasible and queueing-priced for every demand vector within
+	// DemandMargin of the estimate (Kulfi-style semi-oblivious
+	// routing), so a flash crowd landing between ticks meets a table
+	// that already has headroom for it.
+	Robust bool
+	// DemandMargin is the relative half-width of the uncertainty set
+	// (0.25 = each class may surge +25% before the next tick). Only
+	// used with Robust; 0 keeps the nominal path bit-identical.
+	DemandMargin float64
+	// Budget is the Bertsimas–Sim Γ: at most Budget classes surge
+	// simultaneously per pool (0 = the full box). Only used with
+	// Robust.
+	Budget int
+	// Predictive arms the demand forecaster: every tick plans for
+	// max(estimate, one-window-ahead forecast) per key, so a
+	// forecasted swing re-solves before the window that would have
+	// missed it (the forecast change dirties the shard fingerprint).
+	Predictive bool
+	// Forecast tunes the forecaster (zero value: forecast.Defaults(),
+	// EWMA level + Holt trend). Only used with Predictive.
+	Forecast forecast.Config
 }
 
 // planner is the optimizer interface the controller drives: the
@@ -82,6 +105,7 @@ type Controller struct {
 	profs   Profiles
 	history *SampleHistory
 	demand  Demand
+	fc      *forecast.Forecaster // nil unless cfg.Predictive
 	opt     planner
 
 	cur     *routing.Table
@@ -107,6 +131,18 @@ func NewController(top *topology.Topology, app *appgraph.App, cfg ControllerConf
 	if cfg.GuardTolerance <= 0 {
 		cfg.GuardTolerance = 0.15
 	}
+	if cfg.Robust {
+		cfg.Optimizer.DemandMargin = cfg.DemandMargin
+		cfg.Optimizer.Budget = cfg.Budget
+	}
+	var fc *forecast.Forecaster
+	if cfg.Predictive {
+		fcfg := cfg.Forecast
+		if fcfg == (forecast.Config{}) {
+			fcfg = forecast.Defaults()
+		}
+		fc = forecast.New(fcfg)
+	}
 	var opt planner = NewOptimizer(top, app, cfg.Optimizer)
 	if cfg.Decompose || cfg.Search {
 		so := NewShardedOptimizer(top, app, cfg.Optimizer, cfg.SkipEpsilon)
@@ -122,6 +158,7 @@ func NewController(top *topology.Topology, app *appgraph.App, cfg ControllerConf
 		profs:   DefaultProfiles(app, top, Demand{}),
 		history: NewSampleHistory(0),
 		demand:  Demand{},
+		fc:      fc,
 		opt:     opt,
 		cur:     routing.EmptyTable(),
 	}, nil
@@ -159,7 +196,7 @@ func (c *Controller) SetProfiles(p Profiles) { c.profs = p }
 // it to start an experiment from the optimizer's plan when demand is
 // known a priori; production deployments instead converge via Ticks.
 func (c *Controller) Prime() (*routing.Table, error) {
-	if !c.hasDemand() {
+	if !hasDemand(c.demand) {
 		return c.cur, nil
 	}
 	c.version++
@@ -177,6 +214,7 @@ func (c *Controller) Prime() (*routing.Table, error) {
 // window is the collection window length.
 func (c *Controller) Tick(stats []telemetry.WindowStats, window time.Duration) (*routing.Table, error) {
 	c.updateDemand(stats)
+	c.observeForecast(stats)
 	if c.cfg.LearnProfiles {
 		c.history.Observe(stats)
 		FitProfiles(c.profs, c.history.Samples(), c.cfg.MinFitSamples)
@@ -203,7 +241,8 @@ func (c *Controller) Tick(stats []telemetry.WindowStats, window time.Duration) (
 		return c.cur, nil
 	}
 
-	if !c.hasDemand() {
+	demand := c.planDemand()
+	if !hasDemand(demand) {
 		// Nothing to optimize yet.
 		c.lastObjective = measured
 		c.haveLastObj = haveMeasured
@@ -211,7 +250,7 @@ func (c *Controller) Tick(stats []telemetry.WindowStats, window time.Duration) (
 	}
 
 	c.version++
-	plan, err := c.opt.Optimize(c.demand, c.profs, c.version)
+	plan, err := c.opt.Optimize(demand, c.profs, c.version)
 	if err != nil {
 		if errors.Is(err, lp.ErrIterLimit) {
 			// The solver ran out of pivots (cycling on a degenerate
@@ -237,8 +276,8 @@ func (c *Controller) Tick(stats []telemetry.WindowStats, window time.Duration) (
 	return c.cur, nil
 }
 
-func (c *Controller) hasDemand() bool {
-	for _, per := range c.demand {
+func hasDemand(d Demand) bool {
+	for _, per := range d {
 		for _, v := range per {
 			if v > 0 {
 				return true
@@ -246,6 +285,61 @@ func (c *Controller) hasDemand() bool {
 		}
 	}
 	return false
+}
+
+// observeForecast feeds the window's frontend arrival rates to the
+// forecaster (keys the window did not report receive an implicit zero
+// via EndWindow, so vanished streams decay). No-op unless Predictive.
+func (c *Controller) observeForecast(stats []telemetry.WindowStats) {
+	if c.fc == nil {
+		return
+	}
+	frontend := string(c.app.FrontendService())
+	for _, ws := range stats {
+		if ws.Key.Service != frontend || c.app.Class(ws.Key.Class) == nil {
+			continue
+		}
+		c.fc.Observe(forecast.Key{Class: ws.Key.Class, Cluster: ws.Key.Cluster}, ws.RPS)
+	}
+	c.fc.EndWindow()
+}
+
+// planDemand returns the demand the optimizer plans for. Without the
+// forecaster it is the EWMA estimate. With Predictive, each key plans
+// for max(estimate, one-window-ahead forecast): never less than
+// currently observed — the conservative merge means a wrong forecast
+// can only over-provision, not starve a live stream — and a predicted
+// swing changes the planned demand now, which dirties the shard
+// fingerprint and re-solves before the window that would have missed
+// it.
+func (c *Controller) planDemand() Demand {
+	if c.fc == nil {
+		return c.demand
+	}
+	d := make(Demand, len(c.demand))
+	for class, per := range c.demand {
+		cp := make(map[topology.ClusterID]float64, len(per))
+		for cl, v := range per {
+			cp[cl] = v
+		}
+		d[class] = cp
+	}
+	c.fc.Each(1, func(k forecast.Key, p float64) {
+		if p < 1e-6 {
+			return // dust: mirrors the estimate's deletion threshold
+		}
+		if c.app.Class(k.Class) == nil {
+			return
+		}
+		cl := topology.ClusterID(k.Cluster)
+		if d[k.Class] == nil {
+			d[k.Class] = make(map[topology.ClusterID]float64)
+		}
+		if p > d[k.Class][cl] {
+			d[k.Class][cl] = p
+		}
+	})
+	return d
 }
 
 // updateDemand folds frontend arrival rates into the EWMA demand

@@ -35,7 +35,24 @@ type Config struct {
 	// e.g. sticky sessions or cache-affine traffic (paper §5 "caching &
 	// data locality"). Splittable classes keep fractional rules.
 	PinClasses []string
+	// DemandMargin arms robust optimization (Kulfi-style semi-oblivious
+	// routing): the plan is feasible and queueing-priced for every
+	// demand vector in an uncertainty set around the estimate, where
+	// each class's demand may rise by up to DemandMargin (relative,
+	// e.g. 0.25 = +25%). 0 disables — the formulation is then
+	// bit-identical to the nominal one (differential-tested).
+	DemandMargin float64
+	// Budget is the Bertsimas–Sim Γ: at most Budget classes surge to
+	// their margin simultaneously per pool. 0 (or ≥ the pool's class
+	// count) means the full box — every class at its upper corner.
+	// Only meaningful with DemandMargin > 0.
+	Budget int
 }
+
+// robustActive reports whether the uncertainty-set machinery is built.
+// Margin 0 must add zero variables and constraints so the robust
+// config is provably identical to the nominal path when off.
+func (c Config) robustActive() bool { return c.DemandMargin > 0 }
 
 func (c Config) pinned(class string) bool {
 	for _, p := range c.PinClasses {
@@ -106,13 +123,36 @@ type srcDst struct{ i, j int }
 // linkTerm remembers one flow variable's contribution to a pool's
 // loadlink constraint: the coefficient is the node's mean service time
 // over the pool's reference service time, and the latter may change when
-// profiles are refit, so Optimizer.update recomputes it per tick.
+// profiles are refit, so Optimizer.update recomputes it per tick. class
+// attributes the flow for the robust per-class surge constraints.
 type linkTerm struct {
-	v   lp.Var
-	mst float64 // node mean service time, seconds
+	v     lp.Var
+	mst   float64 // node mean service time, seconds
+	class string
+}
+
+// linkScale converts one link term's flow to standard requests: the
+// node's mean service time over the pool's reference service time.
+func linkScale(lt linkTerm, prof PoolProfile) float64 {
+	if prof.RefServiceTime > 0 {
+		return lt.mst / prof.RefServiceTime.Seconds()
+	}
+	return 1
+}
+
+// robRef ties one (pool, class) robust surge constraint to its dual
+// variable q and constraint row, for in-place coefficient updates when
+// profiles are refit.
+type robRef struct {
+	class string
+	qVar  lp.Var
+	con   int
 }
 
 // poolRef ties one service pool to its LP variables and constraints.
+// zVar/robs/gamma exist only when Config.robustActive(): they carry the
+// Bertsimas–Sim dualization of the demand uncertainty set (see the
+// comment at buildFormulation's robust block).
 type poolRef struct {
 	key       PoolKey
 	profile   PoolProfile
@@ -121,6 +161,9 @@ type poolRef struct {
 	loadVar   lp.Var
 	linkCon   int // loadlink constraint index in the model
 	linkTerms []linkTerm
+	zVar      lp.Var
+	robs      []robRef
+	gamma     float64 // effective Γ: min(Budget or ∞, classes on the pool)
 }
 
 // demandRef ties one (root class, arrival cluster) to its demand
@@ -343,9 +386,59 @@ func buildFormulation(top *topology.Topology, app *appgraph.App, cfg Config, dem
 				scale = mst / pr.profile.RefServiceTime.Seconds()
 			}
 			loadTerms[key] = append(loadTerms[key], lp.Term{Var: v, Coef: scale})
-			pr.linkTerms = append(pr.linkTerms, linkTerm{v: v, mst: mst})
+			pr.linkTerms = append(pr.linkTerms, linkTerm{v: v, mst: mst, class: nr.class.Name})
 		})
 	}
+
+	// Robust counterpart (Kulfi-style semi-oblivious routing with a
+	// Bertsimas–Sim budget): every class's demand may rise by up to
+	// DemandMargin (relative), at most Γ classes simultaneously per
+	// pool. The inner maximization over that set — max Σ_c m_{p,c}·u_c
+	// with 0 ≤ u_c ≤ 1, Σ_c u_c ≤ Γ, where m_{p,c} = margin·load_{p,c}(x)
+	// — dualizes into one z_p ≥ 0 per pool and one q_{p,c} ≥ 0 per
+	// (pool, class):
+	//
+	//	z_p + q_{p,c} ≥ margin·load_{p,c}(x)           (rob[p][c])
+	//	Σ_s seg_{p,s} = load_p + Γ_p·z_p + Σ_c q_{p,c}  (segments[p])
+	//
+	// so queueing delay is priced — and the utilization cap enforced —
+	// at the worst-case load in the set, while the flow variables (and
+	// the published routing fractions) stay defined over the nominal
+	// demand. Γ ≥ the pool's class count degenerates to the box set's
+	// upper corner. Granularity is per class, not per (class, arrival
+	// cluster): conservation mixes arrival origins at depth ≥ 1, so a
+	// class surges as a whole — which also matches how flash crowds
+	// present (correlated across a class's clusters).
+	robust := cfg.robustActive()
+	if robust {
+		for _, pr := range f.pools {
+			classes := make([]string, 0, len(app.Classes))
+			seen := make(map[string]bool)
+			for _, lt := range pr.linkTerms {
+				if !seen[lt.class] {
+					seen[lt.class] = true
+					classes = append(classes, lt.class)
+				}
+			}
+			if len(classes) == 0 {
+				continue // placed but never called: no load to protect
+			}
+			sort.Strings(classes)
+			pr.zVar = model.AddVar(fmt.Sprintf("zrob[%s]", pr.key), 0)
+			for _, class := range classes {
+				pr.robs = append(pr.robs, robRef{
+					class: class,
+					qVar:  model.AddVar(fmt.Sprintf("qrob[%s][%s]", pr.key, class), 0),
+				})
+			}
+			g := cfg.Budget
+			if g <= 0 || g > len(classes) {
+				g = len(classes)
+			}
+			pr.gamma = float64(g)
+		}
+	}
+
 	for _, pr := range f.pools {
 		terms := append([]lp.Term{{Var: pr.loadVar, Coef: -1}}, loadTerms[pr.key]...)
 		pr.linkCon = model.NumConstraints()
@@ -354,7 +447,25 @@ func buildFormulation(top *topology.Topology, app *appgraph.App, cfg Config, dem
 		for _, v := range pr.segVars {
 			segTerms = append(segTerms, lp.Term{Var: v, Coef: 1})
 		}
+		if len(pr.robs) > 0 {
+			segTerms = append(segTerms, lp.Term{Var: pr.zVar, Coef: -pr.gamma})
+			for _, rr := range pr.robs {
+				segTerms = append(segTerms, lp.Term{Var: rr.qVar, Coef: -1})
+			}
+		}
 		model.MustConstraint(fmt.Sprintf("segments[%s]", pr.key), segTerms, lp.EQ, 0)
+		for ri := range pr.robs {
+			rr := &pr.robs[ri]
+			rterms := []lp.Term{{Var: pr.zVar, Coef: 1}, {Var: rr.qVar, Coef: 1}}
+			for _, lt := range pr.linkTerms {
+				if lt.class != rr.class {
+					continue
+				}
+				rterms = append(rterms, lp.Term{Var: lt.v, Coef: -cfg.DemandMargin * linkScale(lt, pr.profile)})
+			}
+			rr.con = model.NumConstraints()
+			model.MustConstraint(fmt.Sprintf("rob[%s][%s]", pr.key, rr.class), rterms, lp.GE, 0)
+		}
 	}
 
 	// Per-flow linear objective terms: cross-cluster network latency and

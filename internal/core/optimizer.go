@@ -187,12 +187,21 @@ func (f *formulation) update(demand Demand, profiles Profiles) error {
 		}
 		if refChanged {
 			for _, lt := range pr.linkTerms {
-				scale := 1.0
-				if prof.RefServiceTime > 0 {
-					scale = lt.mst / prof.RefServiceTime.Seconds()
-				}
-				if err := f.model.SetCoef(pr.linkCon, lt.v, scale); err != nil {
+				if err := f.model.SetCoef(pr.linkCon, lt.v, linkScale(lt, prof)); err != nil {
 					return err
+				}
+			}
+			// The robust surge rows scale flows by the same reference
+			// service time; keep them in lockstep with the loadlink row.
+			for ri := range pr.robs {
+				rr := &pr.robs[ri]
+				for _, lt := range pr.linkTerms {
+					if lt.class != rr.class {
+						continue
+					}
+					if err := f.model.SetCoef(rr.con, lt.v, -f.cfg.DemandMargin*linkScale(lt, prof)); err != nil {
+						return err
+					}
 				}
 			}
 		}

@@ -23,6 +23,18 @@ import (
 // the controller holds the incumbent table — the same fallback ladder
 // as the plain sharded path.
 //
+// Robust shards: the search descends on the nominal model, so its
+// certified lower bound brackets the *nominal* LP optimum. That bound
+// stays valid for the robust LP: any robust-feasible x is
+// nominal-feasible with no larger segment fill (drop the Γ·z + Σq
+// worst-case padding; slopes are non-negative), hence
+// LB ≤ opt_nominal ≤ opt_robust. The authoritative re-check below
+// evaluates the candidate on the robust LP (assign fills the duals at
+// the exact inner maximum), so the accepted gap
+// (obj_robust − LB)/obj_robust is a conservative over-estimate of the
+// true robust gap — certified gaps remain valid, the race merely gets
+// harder for search to win as the margin grows.
+//
 // Determinism: the "deadline" is logical. Wall-clock time never touches
 // the outcome — SearchDeadline converts to a fixed evaluation budget at
 // an assumed nominal cost per evaluation, and the search itself is a

@@ -251,7 +251,12 @@ func (s *ShardedOptimizer) fingerprint(sh *shard, demand Demand, profiles Profil
 	return fp
 }
 
-// fingerprintsEqual compares input vectors with a relative epsilon.
+// fingerprintsEqual compares input vectors with a purely relative
+// epsilon. A zero entry only ever matches another zero: the comparison
+// used to mix in an absolute floor (eps·max(1, |a|, |b|)), under which
+// a 0 → small swing — exactly what the forecaster injects when a quiet
+// stream first stirs — compared "equal" and wrongly skipped the
+// shard's re-solve (pinned by TestShardDirtyOnZeroToSmallSwing).
 func fingerprintsEqual(a, b []float64, eps float64) bool {
 	if len(a) != len(b) {
 		return false
@@ -260,7 +265,13 @@ func fingerprintsEqual(a, b []float64, eps float64) bool {
 		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
 			return false
 		}
-		if math.Abs(a[i]-b[i]) > eps*math.Max(1, math.Max(math.Abs(a[i]), math.Abs(b[i]))) {
+		if a[i] == b[i] { //slate:nolint floatcmp -- fast path: unchanged inputs recompute to bit-identical fingerprint entries
+			continue
+		}
+		if a[i] == 0 || b[i] == 0 { //slate:nolint floatcmp -- zero ↔ nonzero must always read as dirty, however small the value
+			return false
+		}
+		if math.Abs(a[i]-b[i]) > eps*math.Max(math.Abs(a[i]), math.Abs(b[i])) {
 			return false
 		}
 	}
@@ -291,6 +302,32 @@ func (s *ShardedOptimizer) checkFrontendCapacity(demand Demand, profiles Profile
 				scale = cl.Root.Work.MeanServiceTime.Seconds() / prof.RefServiceTime.Seconds()
 			}
 			load += demand[cl.Name][c] * scale
+		}
+		// Robust shards fill their frontend segments to the worst case
+		// in the uncertainty set — nominal plus the top-Γ per-class
+		// margin increments, budgeted per shard exactly as each shard's
+		// own rob[p][c] rows are — so the aggregate pre-check must add
+		// the same increments or shards would individually accept a
+		// worst-case total the monolithic robust LP rejects.
+		if s.cfg.robustActive() {
+			for _, sh := range s.shards {
+				incs := make([]float64, 0, len(sh.classes))
+				for _, cl := range sh.classes {
+					scale := 1.0
+					if prof.RefServiceTime > 0 {
+						scale = cl.Root.Work.MeanServiceTime.Seconds() / prof.RefServiceTime.Seconds()
+					}
+					incs = append(incs, s.cfg.DemandMargin*demand[cl.Name][c]*scale)
+				}
+				sort.Sort(sort.Reverse(sort.Float64Slice(incs)))
+				g := s.cfg.Budget
+				if g <= 0 || g > len(incs) {
+					g = len(incs)
+				}
+				for _, inc := range incs[:g] {
+					load += inc
+				}
+			}
 		}
 		if load > queuemodel.TotalWidth(segs)+1e-9 {
 			return fmt.Errorf("core: routing LP infeasible: offered demand exceeds modeled capacity (utilization cap %.0f%%)",

@@ -198,6 +198,55 @@ func TestShardedSkipsUnchangedSubproblems(t *testing.T) {
 	}
 }
 
+// TestShardDirtyOnZeroToSmallSwing pins the fingerprint-comparison fix:
+// a demand stream flipping from exactly zero to any nonzero rate — no
+// matter how small — must mark its shard dirty. A pure relative epsilon
+// can never distinguish 0 from 1e-10 (the relative gap is 100% but the
+// absolute gap is sub-epsilon under a mixed rule), which would leave a
+// newly arrived stream unrouted until it grew large.
+func TestShardDirtyOnZeroToSmallSwing(t *testing.T) {
+	top := topology.TwoClusters(40 * time.Millisecond)
+	app := starTestApp(3, appgraph.ReplicaPool{Replicas: 2, Concurrency: 64},
+		appgraph.ReplicaPool{Replicas: 2, Concurrency: 4}, topology.West, topology.East)
+	profs := DefaultProfiles(app, top, Demand{})
+	dec := NewShardedOptimizer(top, app, Config{}, 0)
+
+	d := starDemand(app, 800, 100)
+	d["cb"][topology.East] = 0
+	if _, err := dec.Optimize(d, profs, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := dec.Stats()
+	if st.SubSolves != 3 || st.SkippedSolves != 0 {
+		t.Fatalf("first tick: sub=%d skip=%d, want 3/0", st.SubSolves, st.SkippedSolves)
+	}
+
+	// 0 → 1e-10: the cb shard must re-solve, the other two skip.
+	d2 := starDemand(app, 800, 100)
+	d2["cb"][topology.East] = 1e-10
+	if _, err := dec.Optimize(d2, profs, 2); err != nil {
+		t.Fatal(err)
+	}
+	st = dec.Stats()
+	if st.SubSolves != 4 {
+		t.Fatalf("zero-to-small tick: sub=%d, want 4 (shard cb must go dirty)", st.SubSolves)
+	}
+	if st.SkippedSolves != 2 {
+		t.Fatalf("zero-to-small tick: skip=%d, want 2", st.SkippedSolves)
+	}
+
+	// And the mirror image: back to exactly zero is dirty again.
+	d3 := starDemand(app, 800, 100)
+	d3["cb"][topology.East] = 0
+	if _, err := dec.Optimize(d3, profs, 3); err != nil {
+		t.Fatal(err)
+	}
+	st = dec.Stats()
+	if st.SubSolves != 5 || st.SkippedSolves != 4 {
+		t.Fatalf("small-to-zero tick: sub=%d skip=%d, want 5/4", st.SubSolves, st.SkippedSolves)
+	}
+}
+
 func TestShardedAggregateInfeasibility(t *testing.T) {
 	// Each class alone fits the frontend pool, but the aggregate root
 	// load exceeds it: the decomposed path must reject the demand like

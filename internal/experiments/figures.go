@@ -448,6 +448,7 @@ func All() map[string]func(Options) (*Figure, error) {
 		"autoscaler":         AutoscalerInteraction,
 		"chaos":              Chaos,
 		"pardes":             ParallelDES,
+		"regret":             Regret,
 		"pardes-1m":          ParallelDES1M,
 		"gapcurve":           GapCurve,
 	}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRegretRobustAndPredictiveBeatReactive is the acceptance check for
+// the robust/predictive controllers: on the scenarios engineered to
+// punish staleness — the flash crowd and the adversarial demand walk —
+// at least one uncertainty-aware leg must strictly reduce worst-case
+// latency regret vs the reactive controller, and the hedged legs must
+// also win on mean regret for the learnable scenarios.
+func TestRegretRobustAndPredictiveBeatReactive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regret suite runs ~20 simulations")
+	}
+	fig, err := Regret(Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(key string) float64 {
+		v, ok := fig.Summary[key]
+		if !ok {
+			t.Fatalf("summary missing %q; have %v", key, fig.Summary)
+		}
+		return v
+	}
+	for k, v := range fig.Summary {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("summary %q = %v", k, v)
+		}
+	}
+
+	// Flash crowd: the robust margin pre-spills before the spike lands.
+	flashReactive := get("flash-crowd/reactive_worst_regret_ms")
+	flashHedged := math.Min(get("flash-crowd/robust_worst_regret_ms"),
+		get("flash-crowd/robust+predictive_worst_regret_ms"))
+	if !(flashHedged < flashReactive) {
+		t.Errorf("flash crowd: hedged worst regret %.2f ms not below reactive %.2f ms",
+			flashHedged, flashReactive)
+	}
+
+	// Adversarial walk: the forecaster's upward bias (max-merge) and the
+	// robust pad both cover the opposite box corner.
+	walkReactive := get("adversarial-walk/reactive_worst_regret_ms")
+	walkHedged := math.Min(get("adversarial-walk/predictive_worst_regret_ms"),
+		get("adversarial-walk/robust+predictive_worst_regret_ms"))
+	if !(walkHedged < walkReactive) {
+		t.Errorf("adversarial walk: hedged worst regret %.2f ms not below reactive %.2f ms",
+			walkHedged, walkReactive)
+	}
+
+	// Correlated surge: the box covers both regions surging at once.
+	if r, h := get("correlated-surge/reactive_worst_regret_ms"), get("correlated-surge/robust_worst_regret_ms"); !(h < r) {
+		t.Errorf("correlated surge: robust worst regret %.2f ms not below reactive %.2f ms", h, r)
+	}
+
+	// Diurnal swing: a trained Holt-Winters forecaster tracks the wave,
+	// cutting mean regret vs always-one-window-behind reactive.
+	if r, p := get("diurnal/reactive_mean_regret_ms"), get("diurnal/predictive_mean_regret_ms"); !(p < r) {
+		t.Errorf("diurnal: predictive mean regret %.2f ms not below reactive %.2f ms", p, r)
+	}
+
+	// Every scenario published a clairvoyant baseline and per-leg series
+	// exist for the two showcased scenarios.
+	for _, scn := range []string{"flash-crowd", "adversarial-walk", "diurnal", "correlated-surge"} {
+		if get(scn+"/clairvoyant_mean_ms") <= 0 {
+			t.Errorf("%s: clairvoyant mean not published", scn)
+		}
+	}
+	var shown int
+	for _, s := range fig.Series {
+		if strings.HasPrefix(s.Name, "flash-crowd/") || strings.HasPrefix(s.Name, "adversarial-walk/") {
+			shown++
+			if len(s.X) == 0 {
+				t.Errorf("series %s is empty", s.Name)
+			}
+		}
+	}
+	if shown != 2*len(regretLegs) {
+		t.Errorf("regret figure shows %d series, want %d", shown, 2*len(regretLegs))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/servicelayernetworking/slate/internal/core"
 	"github.com/servicelayernetworking/slate/internal/routing"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
+	"github.com/servicelayernetworking/slate/internal/topology"
 )
 
 // Static wraps a fixed routing table as a Policy (locality failover,
@@ -50,6 +51,70 @@ func (p *slatePolicy) Init() (*routing.Table, error) {
 
 func (p *slatePolicy) Tick(stats []telemetry.WindowStats, window time.Duration) (*routing.Table, error) {
 	return p.ctrl.Tick(stats, window)
+}
+
+// Clairvoyant returns the oracle policy for regret measurement: at
+// every control boundary it reads the *true* mean offered rate of the
+// upcoming window straight from the scenario's workload schedule
+// (workload.Spec.MeanRate) and re-optimizes for it, so its tables are
+// never stale and never padded. No realizable controller can see this
+// demand — telemetry only reports the past — which makes the
+// clairvoyant's latency the per-window lower bound that reactive,
+// robust and predictive controllers are regret-scored against.
+// Requires Scenario.ControlPeriod > 0.
+func Clairvoyant(scn *Scenario, cfg core.Config) Policy {
+	return &clairvoyantPolicy{scn: scn, opt: core.NewOptimizer(scn.Top, scn.App, cfg)}
+}
+
+type clairvoyantPolicy struct {
+	scn     *Scenario
+	opt     *core.Optimizer
+	elapsed time.Duration
+	version uint64
+	cur     *routing.Table
+}
+
+func (p *clairvoyantPolicy) Name() string { return "clairvoyant" }
+
+func (p *clairvoyantPolicy) Init() (*routing.Table, error) {
+	return p.solve()
+}
+
+func (p *clairvoyantPolicy) Tick(_ []telemetry.WindowStats, window time.Duration) (*routing.Table, error) {
+	p.elapsed += window
+	return p.solve()
+}
+
+// solve optimizes for the true mean demand over the window starting at
+// p.elapsed. On solver failure (e.g. offered load transiently exceeds
+// modeled capacity) the previous table keeps serving, like a real
+// control plane.
+func (p *clairvoyantPolicy) solve() (*routing.Table, error) {
+	window := p.scn.ControlPeriod
+	if window <= 0 {
+		window = p.scn.Duration
+	}
+	demand := core.Demand{}
+	for _, spec := range p.scn.Workload {
+		rate := spec.MeanRate(p.elapsed, p.elapsed+window)
+		if rate <= 0 {
+			continue
+		}
+		if demand[spec.Class] == nil {
+			demand[spec.Class] = map[topology.ClusterID]float64{}
+		}
+		demand[spec.Class][spec.Cluster] += rate
+	}
+	if len(demand) == 0 {
+		return p.cur, nil
+	}
+	p.version++
+	plan, err := p.opt.Optimize(demand, core.DefaultProfiles(p.scn.App, p.scn.Top, demand), p.version)
+	if err != nil {
+		return p.cur, err
+	}
+	p.cur = plan.Table
+	return p.cur, nil
 }
 
 // Waterfall wraps a baseline.Controller as a Policy, with the same

@@ -93,6 +93,30 @@ func (s Spec) RateAt(t time.Duration) float64 {
 	return 0
 }
 
+// MeanRate returns the schedule's average rate over [from, to) by
+// piecewise integration of the phase plan — the true offered load of an
+// upcoming control window, which the clairvoyant policy plans with and
+// regret is measured against. Beyond the last finite phase the
+// open-ended rate (or zero, for ended streams) extends, mirroring
+// RateAt. from ≥ to returns RateAt(from).
+func (s Spec) MeanRate(from, to time.Duration) float64 {
+	if to <= from {
+		return s.RateAt(from)
+	}
+	var area float64 // rate × seconds
+	t := from
+	for t < to {
+		rate := s.RateAt(t)
+		nxt, ok := nextBoundary(s, t)
+		if !ok || nxt > to {
+			nxt = to
+		}
+		area += rate * (nxt - t).Seconds()
+		t = nxt
+	}
+	return area / (to - from).Seconds()
+}
+
 // Steady returns a single-phase open-ended spec — the common case for
 // the paper's experiments, which hold each load level constant.
 func Steady(class string, cluster topology.ClusterID, rps float64) Spec {

@@ -138,3 +138,36 @@ func TestArrivalsBurstDensity(t *testing.T) {
 		t.Errorf("burst rate = %v, want ~1000", burstRate)
 	}
 }
+
+func TestMeanRatePiecewise(t *testing.T) {
+	s := Burst("c", topology.West, 100, 1000, 10*time.Second, 5*time.Second)
+	cases := []struct {
+		from, to time.Duration
+		want     float64
+	}{
+		{0, 10 * time.Second, 100},                                  // entirely base
+		{10 * time.Second, 15 * time.Second, 1000},                  // entirely burst
+		{8 * time.Second, 12 * time.Second, (2*100 + 2*1000) / 4.0}, // straddles the edge
+		{14 * time.Second, 20 * time.Second, (1*1000 + 5*100) / 6.0},
+		{30 * time.Second, 40 * time.Second, 100}, // open-ended tail
+	}
+	for _, c := range cases {
+		if got := s.MeanRate(c.from, c.to); !almostEqual(got, c.want) {
+			t.Errorf("MeanRate(%v, %v) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+	// Degenerate window falls back to the instantaneous rate.
+	if got := s.MeanRate(12*time.Second, 12*time.Second); !almostEqual(got, 1000) {
+		t.Errorf("zero-width MeanRate = %v, want 1000", got)
+	}
+}
+
+func TestMeanRateEndedStream(t *testing.T) {
+	s := Spec{Class: "c", Cluster: topology.West, Phases: []Phase{{RPS: 200, Duration: 10 * time.Second}}}
+	if got := s.MeanRate(5*time.Second, 15*time.Second); !almostEqual(got, 100) {
+		t.Errorf("ended-stream MeanRate = %v, want 100", got)
+	}
+	if got := s.MeanRate(20*time.Second, 30*time.Second); got != 0 { //slate:nolint floatcmp -- exact zero for a dead stream
+		t.Errorf("dead-stream MeanRate = %v, want 0", got)
+	}
+}

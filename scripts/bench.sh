@@ -25,8 +25,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-MICRO='^(BenchmarkOptimizerSolve|BenchmarkSimplexTransportation|BenchmarkDESThroughput|BenchmarkRoutingPick|BenchmarkHistogramRecord|BenchmarkMMcSojourn|BenchmarkSearchReoptimize)'
-FIGURES='^(BenchmarkFig|BenchmarkHeadline|BenchmarkAblation|BenchmarkBurstReaction|BenchmarkScalability|BenchmarkAutoscalerInteraction|BenchmarkChaos|BenchmarkParallelDES)'
+MICRO='^(BenchmarkOptimizerSolve|BenchmarkRobustSolve|BenchmarkSimplexTransportation|BenchmarkDESThroughput|BenchmarkRoutingPick|BenchmarkHistogramRecord|BenchmarkMMcSojourn|BenchmarkSearchReoptimize|BenchmarkForecastObserve|BenchmarkForecastPredict)'
+FIGURES='^(BenchmarkFig|BenchmarkHeadline|BenchmarkAblation|BenchmarkBurstReaction|BenchmarkScalability|BenchmarkAutoscalerInteraction|BenchmarkChaos|BenchmarkParallelDES|BenchmarkRegret)'
 
 OUT=""
 BASELINE=""

@@ -40,7 +40,10 @@ var pinned = []string{
 	"BenchmarkRoutingPick",
 	"BenchmarkHistogramRecord",
 	"BenchmarkOptimizerSolve/warm",
+	"BenchmarkRobustSolve/warm",
 	"BenchmarkSearchReoptimize",
+	"BenchmarkForecastObserve",
+	"BenchmarkForecastPredict",
 }
 
 // Snapshot mirrors the JSON bench.sh emits.
