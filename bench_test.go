@@ -10,12 +10,17 @@
 package slate_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
 	"sort"
 	"testing"
 	"time"
 
 	slate "github.com/servicelayernetworking/slate"
 	"github.com/servicelayernetworking/slate/internal/appgraph"
+	"github.com/servicelayernetworking/slate/internal/controlplane"
 	"github.com/servicelayernetworking/slate/internal/core"
 	"github.com/servicelayernetworking/slate/internal/experiments"
 	"github.com/servicelayernetworking/slate/internal/forecast"
@@ -154,6 +159,16 @@ func BenchmarkChaos(b *testing.B) {
 	runFigure(b, experiments.Chaos,
 		"hardened_availability", "unhardened_availability",
 		"availability_gain", "hardened_recovery_s")
+}
+
+// BenchmarkHAChaos regenerates the leader-failover chaos experiment:
+// three global replicas vs the single ticker through a leader kill that
+// coincides with a regional demand flip, scored as availability and
+// time-to-fresh-table in sync periods.
+func BenchmarkHAChaos(b *testing.B) {
+	runFigure(b, experiments.HAChaos,
+		"replicated_availability", "single_availability", "availability_gain",
+		"replicated_ttf_periods", "single_ttf_periods")
 }
 
 // BenchmarkParallelDES regenerates the parallel-simulator scaling
@@ -493,5 +508,174 @@ func BenchmarkSearchReoptimize(b *testing.B) {
 	b.StopTimer()
 	if !se.Run(1 << 12).Feasible {
 		b.Fatal("search left an infeasible table")
+	}
+}
+
+// benchSnapshotState builds a warm decomposed controller for the
+// snapshot benchmarks: an 8-class star app (one shard per class) warmed
+// by four ticks of drifting demand, so every shard carries a simplex
+// basis, an input fingerprint, and a cached sub-plan — the payload a
+// leader serves at GET /v1/snapshot every sync period.
+type benchSnapshotState struct {
+	top   *topology.Topology
+	app   *appgraph.App
+	ctrl  *core.Controller
+	stats func(scale float64) []telemetry.WindowStats
+}
+
+func benchSnapshot(b *testing.B) *benchSnapshotState {
+	b.Helper()
+	top := topology.TwoClusters(40 * time.Millisecond)
+	app := &appgraph.App{Name: "snapshot-bench", Services: map[appgraph.ServiceID]*appgraph.Service{}}
+	const gateway appgraph.ServiceID = "gateway"
+	app.Services[gateway] = &appgraph.Service{ID: gateway,
+		Placement: appgraph.Uniform(appgraph.ReplicaPool{Replicas: 2, Concurrency: 64}, topology.West, topology.East)}
+	pool := appgraph.ReplicaPool{Replicas: 2, Concurrency: 4}
+	work := appgraph.Work{MeanServiceTime: 10 * time.Millisecond, RequestBytes: 1 << 10, ResponseBytes: 4 << 10}
+	var classes []string
+	for k := 0; k < 8; k++ {
+		svc := appgraph.ServiceID("svc-" + string(rune('a'+k)))
+		app.Services[svc] = &appgraph.Service{ID: svc, Placement: appgraph.Uniform(pool, topology.West, topology.East)}
+		class := "c" + string(rune('a'+k))
+		classes = append(classes, class)
+		app.Classes = append(app.Classes, &appgraph.Class{Name: class, Root: &appgraph.CallNode{
+			Service: gateway, Method: "POST", Path: "/in",
+			Work:  appgraph.Work{MeanServiceTime: 100 * time.Microsecond},
+			Count: 1,
+			Children: []*appgraph.CallNode{{
+				Service: svc, Method: "POST", Path: "/" + string(svc), Work: work, Count: 1,
+			}},
+		}})
+	}
+	stats := func(scale float64) []telemetry.WindowStats {
+		var out []telemetry.WindowStats
+		for i, class := range classes {
+			west := (500 + 40*float64(i)) * scale
+			east := (60 + 10*float64(i)) * scale
+			out = append(out,
+				telemetry.WindowStats{
+					Key: telemetry.MetricKey{Service: string(gateway), Class: class, Cluster: string(topology.West)},
+					RPS: west, Requests: uint64(west), MeanLatency: 30 * time.Millisecond, Window: time.Second},
+				telemetry.WindowStats{
+					Key: telemetry.MetricKey{Service: string(gateway), Class: class, Cluster: string(topology.East)},
+					RPS: east, Requests: uint64(east), MeanLatency: 30 * time.Millisecond, Window: time.Second})
+		}
+		return out
+	}
+	ctrl, err := core.NewController(top, app, core.ControllerConfig{
+		DemandSmoothing: 1, Decompose: true, Predictive: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scale := range []float64{1, 1.15, 0.95, 1} {
+		if _, err := ctrl.Tick(stats(scale), time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return &benchSnapshotState{top: top, app: app, ctrl: ctrl, stats: stats}
+}
+
+// BenchmarkSnapshotEncode measures capturing and JSON-encoding the
+// controller's warm state — the leader pays this per sync period to
+// serve follower snapshot fetches, so it must stay far below one
+// period.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	s := benchSnapshot(b)
+	var bytes int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := json.Marshal(s.ctrl.Snapshot())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = len(buf)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytes), "snapshot_bytes")
+}
+
+// BenchmarkSnapshotRestore measures decoding a snapshot and installing
+// it into a cold controller — the takeover path of a newly elected
+// leader, on the clock between a leader death and the next fresh table.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	s := benchSnapshot(b)
+	buf, err := json.Marshal(s.ctrl.Snapshot())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold, err := core.NewController(s.top, s.app, core.ControllerConfig{
+		DemandSmoothing: 1, Decompose: true, Predictive: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var snap core.ControllerSnapshot
+		if err := json.Unmarshal(buf, &snap); err != nil {
+			b.Fatal(err)
+		}
+		if err := cold.Restore(&snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// The restored controller must resume warm: a tick repeating the
+	// last window publishes without a single cold solve.
+	if _, err := cold.Tick(s.stats(1), time.Second); err != nil {
+		b.Fatal(err)
+	}
+	if st := cold.OptimizerStats(); st.ColdSolves != 0 {
+		b.Fatalf("post-restore tick went cold: %+v", st)
+	}
+}
+
+// BenchmarkEventSolve measures the event-driven reaction path end to
+// end: a cluster telemetry upload whose load swing breaches the
+// threshold, then the immediate re-solve it arms — the latency between
+// a traffic jump and a fresh routing table, independent of the sync
+// period.
+func BenchmarkEventSolve(b *testing.B) {
+	s := benchSnapshot(b)
+	g := controlplane.NewGlobal(s.ctrl)
+	// No registered clusters: this replica is trivially leader, and the
+	// solve result stays local instead of being pushed anywhere.
+	g.EnableHA("http://bench.invalid", controlplane.HAConfig{EventThreshold: 0.25, EventBurst: 2})
+	ctx := context.Background()
+	if err := g.HAStep(ctx); err != nil {
+		b.Fatal(err)
+	}
+	h := g.Handler()
+	post := func(scale float64) {
+		rep := controlplane.MetricsReport{Cluster: topology.West, WindowMS: 1000, Stats: s.stats(scale)}
+		body, err := json.Marshal(rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest("POST", "/v1/metrics", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code/100 != 2 {
+			b.Fatalf("metrics upload: status %d", rec.Code)
+		}
+	}
+	post(1) // establish the last-seen load
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scale := 1.5
+		if i%2 == 1 {
+			scale = 1.0
+		}
+		post(scale) // >25% swing: arms the event
+		// Refill the token the solve consumes; in production HAStep banks
+		// one per sync period.
+		g.EnableHA("http://bench.invalid", controlplane.HAConfig{EventThreshold: 0.25, EventBurst: 2})
+		if !g.TryEventSolve(ctx) {
+			b.Fatal("event solve did not fire")
+		}
 	}
 }

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	slate-global -scenario scenario.json -listen 127.0.0.1:7000 -period 5s
+//
+// Replicated mode — run N copies, each advertising its own URL; the
+// cluster controllers are the lease acceptors, so replicas need no
+// peer list:
+//
+//	slate-global -scenario scenario.json -listen 10.0.0.1:7000 \
+//	    -replica http://10.0.0.1:7000 -lease-ttl 10s -event-threshold 0.25
 package main
 
 import (
@@ -38,6 +45,10 @@ func main() {
 		budget     = flag.Int("robust-budget", 0, "robust mode: Bertsimas–Sim budget Γ — max classes surging per pool at once (0 = all, i.e. box uncertainty)")
 		predictive = flag.Bool("predictive", false, "plan for forecasted demand (Holt trend smoothing) instead of the last window's estimate alone")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		replica    = flag.String("replica", "", "advertised base URL of this replica; enables replicated mode (leader lease + warm snapshot handoff)")
+		leaseTTL   = flag.Duration("lease-ttl", 10*time.Second, "replicated mode: leader lease TTL (2x the period is a good choice)")
+		eventThr   = flag.Float64("event-threshold", 0.25, "replicated mode: relative per-cluster load change arming an immediate re-solve (negative disables)")
+		eventBurst = flag.Int("event-burst", 2, "replicated mode: max banked event-solve tokens")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -66,10 +77,21 @@ func main() {
 		ctrl.SetDemand(demand) // optional seed; telemetry refines it
 	}
 	g := controlplane.NewGlobal(ctrl)
+	if *replica != "" {
+		g.EnableHA(*replica, controlplane.HAConfig{
+			LeaseTTL:       *leaseTTL,
+			EventThreshold: *eventThr,
+			EventBurst:     *eventBurst,
+		})
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
-	go g.Run(ctx, *period)
+	if *replica != "" {
+		go g.RunHA(ctx, *period)
+	} else {
+		go g.Run(ctx, *period)
+	}
 
 	h := g.Handler()
 	if *pprofOn {
@@ -83,8 +105,12 @@ func main() {
 		<-ctx.Done()
 		srv.Close()
 	}()
-	log.Printf("slate-global: serving on %s (period %v, app %s, %d clusters)",
-		*listen, *period, app.Name, top.NumClusters())
+	mode := "single"
+	if *replica != "" {
+		mode = "replica " + *replica
+	}
+	log.Printf("slate-global: serving on %s (%s, period %v, app %s, %d clusters)",
+		*listen, mode, *period, app.Name, top.NumClusters())
 	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 		log.Fatalf("slate-global: %v", err)
 	}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func serveHealth(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/health" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestLeaderStatus points `slatectl leader` at both health shapes — a
+// global replica and a cluster controller — and checks the output.
+func TestLeaderStatus(t *testing.T) {
+	gsrv := serveHealth(t, `{"replica":"http://10.0.0.1:7000","role":"leader",
+		"leader_url":"http://10.0.0.1:7000","lease_epoch":3,"table_version":17,"ticks":40}`)
+	var out strings.Builder
+	if err := leaderStatus(&out, []string{gsrv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"global controller leader", "http://10.0.0.1:7000", "lease epoch", "3", "table version", "17"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("global output missing %q in:\n%s", want, got)
+		}
+	}
+
+	csrv := serveHealth(t, `{"cluster":"west","table_version":17,
+		"leader_url":"http://10.0.0.1:7000","leader_epoch":3,"pub_epoch":3}`)
+	out.Reset()
+	// Bare host:port must work too.
+	if err := leaderStatus(&out, []string{strings.TrimPrefix(csrv.URL, "http://")}); err != nil {
+		t.Fatal(err)
+	}
+	got = out.String()
+	for _, want := range []string{"cluster controller west", "leader", "fence epoch", "table version"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("cluster output missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestLeaderStatusErrors(t *testing.T) {
+	if err := leaderStatus(&strings.Builder{}, nil); err == nil {
+		t.Error("expected usage error with no args")
+	}
+	srv := serveHealth(t, `{}`)
+	if err := leaderStatus(&strings.Builder{}, []string{srv.URL}); err == nil {
+		t.Error("expected an error for a health body with neither role nor cluster")
+	}
+}

@@ -9,6 +9,7 @@
 //	slatectl -scenario scenario.json -policy waterfall -threshold 0.8
 //	slatectl metrics 127.0.0.1:7000        # scrape a live daemon
 //	slatectl optstats 127.0.0.1:7000       # solver win counters
+//	slatectl leader 127.0.0.1:7000         # role, lease epoch, table version
 //	slatectl diff old-table.json new-table.json
 package main
 
@@ -41,6 +42,12 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "optstats" {
 		if err := optStats(os.Stdout, os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "leader" {
+		if err := leaderStatus(os.Stdout, os.Args[2:]); err != nil {
 			fatal(err)
 		}
 		return
@@ -229,6 +236,82 @@ func optStats(w io.Writer, args []string) error {
 	search, simplex := vals["slate_global_search_solves"], vals["slate_global_search_simplex_wins"]
 	if raced := search + simplex; raced > 0 {
 		fmt.Fprintf(w, "%-34s %11.1f%%\n", "search win rate", 100*search/raced)
+	}
+	return nil
+}
+
+// leaderStatus fetches a controller's /v1/health and prints who leads
+// the control plane (`slatectl leader <addr>`). Pointed at a global
+// replica it prints the replica's role, lease epoch and table version;
+// pointed at a cluster controller it prints which replica holds that
+// cluster's vote and the publish-fence epoch.
+func leaderStatus(w io.Writer, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: slatectl leader <addr>")
+	}
+	u := args[0]
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	u = strings.TrimSuffix(u, "/") + "/v1/health"
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: status %d: %s", u, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	// One view fits both health shapes: a cluster controller reports
+	// "cluster", a global replica reports "role".
+	var h struct {
+		Cluster      string `json:"cluster"`
+		Replica      string `json:"replica"`
+		Role         string `json:"role"`
+		LeaderURL    string `json:"leader_url"`
+		LeaseEpoch   uint64 `json:"lease_epoch"`
+		LeaderEpoch  uint64 `json:"leader_epoch"`
+		PubEpoch     uint64 `json:"pub_epoch"`
+		TableVersion uint64 `json:"table_version"`
+		LastError    string `json:"last_error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fmt.Errorf("%s: %w", u, err)
+	}
+	line := func(k string, v any) { fmt.Fprintf(w, "%-14s %v\n", k, v) }
+	if h.Cluster != "" {
+		fmt.Fprintf(w, "cluster controller %s\n", h.Cluster)
+		leader := h.LeaderURL
+		if leader == "" {
+			leader = "(none: unreplicated or no lease granted)"
+		}
+		line("leader", leader)
+		line("lease epoch", h.LeaderEpoch)
+		line("fence epoch", h.PubEpoch)
+		line("table version", h.TableVersion)
+		return nil
+	}
+	if h.Role == "" {
+		return fmt.Errorf("%s: no role or cluster in health response (not a SLATE controller?)", u)
+	}
+	fmt.Fprintf(w, "global controller %s\n", h.Role)
+	if h.Replica != "" {
+		line("replica", h.Replica)
+	}
+	if h.LeaderURL != "" {
+		line("leader", h.LeaderURL)
+	}
+	line("lease epoch", h.LeaseEpoch)
+	line("table version", h.TableVersion)
+	if h.LastError != "" {
+		line("last error", h.LastError)
 	}
 	return nil
 }

@@ -43,8 +43,7 @@ type ingestGroup struct {
 // masquerade as current load — and marks sources that have gone silent
 // (MissingProxies, also served at GET /v1/health).
 type Cluster struct {
-	id        topology.ClusterID
-	globalURL string
+	id topology.ClusterID
 
 	mu         sync.Mutex
 	proxies    []*dataplane.Proxy
@@ -57,25 +56,48 @@ type Cluster struct {
 	table      *routing.Table
 	history    []*routing.Table // superseded tables, oldest first
 
-	// Delta-report state: the last window acked by the global, the
-	// report epoch, and whether the next upload must be a full resync.
-	lastReport []telemetry.WindowStats
-	epoch      uint64
-	needFull   bool
+	// ups are the global-controller replicas this cluster reports to.
+	// Each carries its own delta-report state (last acked window, report
+	// epoch, full-resync flag) so replicas reconstruct windows
+	// independently and a failover lands on a warm ingest.
+	ups []*upstream
+
+	// Leader-lease acceptor state. Global replicas contend for leadership
+	// by acquiring a TTL lease from a majority of cluster controllers;
+	// this cluster remembers who holds its vote and until when. pubEpoch
+	// fences rule pushes (Paxos-promise style): granting a lease at epoch
+	// E commits this cluster to rejecting any push with an epoch below E,
+	// so a deposed leader's stale table can never land here — even as a
+	// "full resync" — regardless of message reordering.
+	leaseHolder  string
+	leaseEpoch   uint64
+	leaseExpires time.Time
+	pubEpoch     uint64
 
 	client *http.Client
 	now    func() time.Time
 
-	metricsH    http.Handler
-	mIngested   *obs.Counter
-	mIngestErrs *obs.Counter
-	mReports    *obs.Counter
-	mReportErrs *obs.Counter
-	mExcluded   *obs.Counter
-	mPatches    *obs.Counter
-	mPatchGaps  *obs.Counter
-	mMissing    *obs.Gauge
-	mTableVer   *obs.Gauge
+	metricsH      http.Handler
+	mIngested     *obs.Counter
+	mIngestErrs   *obs.Counter
+	mReports      *obs.Counter
+	mReportErrs   *obs.Counter
+	mExcluded     *obs.Counter
+	mPatches      *obs.Counter
+	mPatchGaps    *obs.Counter
+	mStaleRejects *obs.Counter
+	mLeaseEpoch   *obs.Gauge
+	mMissing      *obs.Gauge
+	mTableVer     *obs.Gauge
+}
+
+// upstream is one global-controller replica this cluster reports to,
+// with its private delta-report state.
+type upstream struct {
+	url        string
+	lastReport []telemetry.WindowStats
+	epoch      uint64
+	needFull   bool
 }
 
 // tableHistoryCap bounds how many superseded tables the controller
@@ -89,14 +111,13 @@ const tableHistoryCap = 8
 func NewCluster(id topology.ClusterID, globalURL string) *Cluster {
 	reg := obs.Default()
 	cl := string(id)
-	return &Cluster{
-		id:        id,
-		globalURL: globalURL,
-		sources:   make(map[string]time.Time),
-		table:     routing.EmptyTable(),
-		client:    &http.Client{Timeout: 10 * time.Second},
-		now:       time.Now,
-		metricsH:  reg.Handler(),
+	c := &Cluster{
+		id:       id,
+		sources:  make(map[string]time.Time),
+		table:    routing.EmptyTable(),
+		client:   &http.Client{Timeout: 10 * time.Second},
+		now:      time.Now,
+		metricsH: reg.Handler(),
 		mIngested: reg.CounterVec("slate_cluster_ingested_batches_total",
 			"Telemetry batches accepted from local proxies.", "cluster").With(cl),
 		mIngestErrs: reg.CounterVec("slate_cluster_ingest_errors_total",
@@ -111,11 +132,43 @@ func NewCluster(id topology.ClusterID, globalURL string) *Cluster {
 			"Incremental rule patches applied.", "cluster").With(cl),
 		mPatchGaps: reg.CounterVec("slate_cluster_patch_gaps_total",
 			"Rule patches rejected for a version gap (answered 409).", "cluster").With(cl),
+		mStaleRejects: reg.CounterVec("slate_cluster_stale_pushes_rejected_total",
+			"Rule pushes rejected as fenced: stale leader epoch or older table version.", "cluster").With(cl),
+		mLeaseEpoch: reg.GaugeVec("slate_cluster_lease_epoch",
+			"Leader-lease epoch this cluster last granted.", "cluster").With(cl),
 		mMissing: reg.GaugeVec("slate_cluster_missing_proxies",
 			"Proxies silent past the staleness bound as of the last Collect.", "cluster").With(cl),
 		mTableVer: reg.GaugeVec("slate_cluster_table_version",
 			"Version of the routing table last applied.", "cluster").With(cl),
 	}
+	if globalURL != "" {
+		c.ups = append(c.ups, &upstream{url: globalURL})
+	}
+	return c
+}
+
+// AddUpstream registers one more global-controller replica to report
+// to. Every upstream receives the same telemetry with independent delta
+// state; duplicates are ignored.
+func (c *Cluster) AddUpstream(url string) {
+	if url == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, up := range c.ups {
+		if up.url == url {
+			return
+		}
+	}
+	c.ups = append(c.ups, &upstream{url: url})
+}
+
+// SetNow swaps the controller's clock (deterministic harnesses, tests).
+func (c *Cluster) SetNow(f func() time.Time) {
+	c.mu.Lock()
+	c.now = f
+	c.mu.Unlock()
 }
 
 // SetTransport swaps the HTTP transport used for upstream RPCs (fault
@@ -150,6 +203,7 @@ func (c *Cluster) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rules", c.handleRules)
 	mux.HandleFunc("POST /v1/patch", c.handlePatch)
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
 	mux.HandleFunc("GET /v1/rules", c.handleGetRules)
 	mux.HandleFunc("POST /v1/metrics", c.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", c.handleStats)
@@ -166,6 +220,14 @@ func (c *Cluster) Handler() http.Handler {
 // otherwise.
 func (c *Cluster) handleGetRules(w http.ResponseWriter, r *http.Request) {
 	sinceStr := r.URL.Query().Get("since")
+	c.mu.Lock()
+	pubEpoch := c.pubEpoch
+	c.mu.Unlock()
+	if pubEpoch > 0 {
+		// Advertise the fenced leader epoch so agents can detect a
+		// failover and resync rather than trust a raced incremental poll.
+		w.Header().Set(dataplane.HeaderLeaderEpoch, strconv.FormatUint(pubEpoch, 10))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if sinceStr == "" {
 		json.NewEncoder(w).Encode(c.Table())
@@ -255,6 +317,13 @@ type Health struct {
 	TableVersion   uint64             `json:"table_version"`
 	MissingProxies []string           `json:"missing_proxies,omitempty"`
 	ExcludedStale  int                `json:"excluded_stale_windows"`
+	// LeaderURL and LeaderEpoch describe the global replica holding
+	// this cluster's leader-lease vote ("" / 0 without a replicated
+	// control plane). PubEpoch is the fence: pushes below it are
+	// rejected as coming from a deposed leader.
+	LeaderURL   string `json:"leader_url,omitempty"`
+	LeaderEpoch uint64 `json:"leader_epoch,omitempty"`
+	PubEpoch    uint64 `json:"pub_epoch,omitempty"`
 }
 
 func (c *Cluster) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -264,6 +333,9 @@ func (c *Cluster) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		TableVersion:   c.table.Version,
 		MissingProxies: append([]string(nil), c.missing...),
 		ExcludedStale:  c.excluded,
+		LeaderURL:      c.leaseHolder,
+		LeaderEpoch:    c.leaseEpoch,
+		PubEpoch:       c.pubEpoch,
 	}
 	c.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
@@ -271,9 +343,20 @@ func (c *Cluster) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (c *Cluster) handleRules(w http.ResponseWriter, r *http.Request) {
+	fenced, ok := c.admitPush(w, r)
+	if !ok {
+		return
+	}
 	var table routing.Table
 	if err := json.NewDecoder(r.Body).Decode(&table); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if fenced && table.Version < c.Table().Version {
+		// CAS: under a replicated control plane a full-table push may
+		// never move the table backwards (equal versions are idempotent
+		// re-pushes and fine).
+		c.rejectPush(w, dataplane.RejectCAS, "table version regression")
 		return
 	}
 	c.ApplyTable(&table)
@@ -284,9 +367,19 @@ func (c *Cluster) handleRules(w http.ResponseWriter, r *http.Request) {
 // controller. A version gap (this controller restarted, or a push went
 // missing) answers 409, which makes the global resend a full patch.
 func (c *Cluster) handlePatch(w http.ResponseWriter, r *http.Request) {
+	fenced, ok := c.admitPush(w, r)
+	if !ok {
+		return
+	}
 	var p routing.Patch
 	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if fenced && p.Full && p.Version < c.Table().Version {
+		// CAS: a full (resync) patch applies unconditionally downstream,
+		// so a version regression must be stopped here.
+		c.rejectPush(w, dataplane.RejectCAS, "table version regression")
 		return
 	}
 	if err := c.ApplyPatch(&p); err != nil {
@@ -424,32 +517,45 @@ func (c *Cluster) Collect(window time.Duration) []telemetry.WindowStats {
 	return merged
 }
 
-// Report collects one window and uploads it to the global controller.
-// After the first (full) upload, reports are incremental: only the
-// (service, class) aggregates that changed beyond a small relative
+// Report collects one window and uploads it to every registered global
+// replica. After the first (full) upload, reports are incremental: only
+// the (service, class) aggregates that changed beyond a small relative
 // epsilon cross the wire, with an epoch marker so the global can detect
 // gaps. Any failure — transport, or a 409 epoch-gap rejection — flags
-// the next report as a full resync, so the protocol self-heals without
-// coordination. The context bounds the upload so a daemon shutdown
-// cancels an in-flight report instead of waiting out the HTTP timeout.
+// that upstream's next report as a full resync, so the protocol
+// self-heals without coordination; one unreachable replica does not
+// stop the others from staying warm. The context bounds the uploads so
+// a daemon shutdown cancels in-flight reports instead of waiting out
+// the HTTP timeout. Returns the first error encountered.
 func (c *Cluster) Report(ctx context.Context, window time.Duration) error {
 	stats := c.Collect(window)
-	if c.globalURL == "" {
-		return nil
-	}
-
 	c.mu.Lock()
-	c.epoch++
+	ups := append([]*upstream(nil), c.ups...)
+	c.mu.Unlock()
+	var firstErr error
+	for _, up := range ups {
+		if err := c.reportTo(ctx, up, stats, window); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// reportTo uploads one collected window to one upstream replica,
+// maintaining that upstream's private delta state.
+func (c *Cluster) reportTo(ctx context.Context, up *upstream, stats []telemetry.WindowStats, window time.Duration) error {
+	c.mu.Lock()
+	up.epoch++
 	rep := MetricsReport{
 		Cluster:  c.id,
 		WindowMS: window.Milliseconds(),
-		Epoch:    c.epoch,
+		Epoch:    up.epoch,
 	}
-	if c.needFull || c.epoch == 1 {
+	if up.needFull || up.epoch == 1 {
 		rep.Stats = stats
 	} else {
 		rep.Delta = true
-		rep.Stats, rep.Removed = telemetry.DeltaReport(c.lastReport, stats, reportEpsilon)
+		rep.Stats, rep.Removed = telemetry.DeltaReport(up.lastReport, stats, reportEpsilon)
 	}
 	c.mu.Unlock()
 
@@ -457,16 +563,16 @@ func (c *Cluster) Report(ctx context.Context, window time.Duration) error {
 	if err != nil {
 		return err
 	}
-	if err := postJSON(ctx, c.client, c.globalURL+"/v1/metrics", body); err != nil {
+	if err := postJSON(ctx, c.client, up.url+"/v1/metrics", body); err != nil {
 		c.mu.Lock()
-		c.needFull = true
+		up.needFull = true
 		c.mu.Unlock()
 		c.mReportErrs.Inc()
 		return fmt.Errorf("controlplane: report to global: %w", err)
 	}
 	c.mu.Lock()
-	c.needFull = false
-	c.lastReport = stats
+	up.needFull = false
+	up.lastReport = stats
 	c.mu.Unlock()
 	c.mReports.Inc()
 	return nil
@@ -477,19 +583,26 @@ func (c *Cluster) Report(ctx context.Context, window time.Duration) error {
 const reportEpsilon = 1e-9
 
 // Register announces this cluster controller (reachable at selfURL) to
-// the global controller.
+// every registered global replica. Returns the first error; replicas
+// that were reached stay registered.
 func (c *Cluster) Register(ctx context.Context, selfURL string) error {
-	if c.globalURL == "" {
+	c.mu.Lock()
+	ups := append([]*upstream(nil), c.ups...)
+	c.mu.Unlock()
+	if len(ups) == 0 {
 		return fmt.Errorf("controlplane: no global URL configured")
 	}
 	body, err := json.Marshal(RegisterRequest{Cluster: c.id, URL: selfURL})
 	if err != nil {
 		return err
 	}
-	if err := postJSON(ctx, c.client, c.globalURL+"/v1/register", body); err != nil {
-		return fmt.Errorf("controlplane: register: %w", err)
+	var firstErr error
+	for _, up := range ups {
+		if err := postJSON(ctx, c.client, up.url+"/v1/register", body); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("controlplane: register: %w", err)
+		}
 	}
-	return nil
+	return firstErr
 }
 
 // Run reports telemetry every period until the context is cancelled.
@@ -509,11 +622,21 @@ func (c *Cluster) Run(ctx context.Context, period time.Duration) {
 // postJSON posts body to url under ctx and drains the response,
 // returning an error on transport failure or a non-2xx status.
 func postJSON(ctx context.Context, client *http.Client, url string, body []byte) error {
+	return postJSONHeaders(ctx, client, url, body, nil)
+}
+
+// postJSONHeaders is postJSON with extra request headers (the leader
+// epoch on fenced rule pushes). A non-2xx response is preserved as a
+// statusError carrying the X-Slate-Reject marker, if any.
+func postJSONHeaders(ctx context.Context, client *http.Client, url string, body []byte, hdr map[string]string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return err
@@ -521,24 +644,43 @@ func postJSON(ctx context.Context, client *http.Client, url string, body []byte)
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return statusError(resp.StatusCode)
+		return statusError{code: resp.StatusCode, reject: resp.Header.Get(dataplane.HeaderReject)}
 	}
 	return nil
 }
 
 // statusError is a non-2xx HTTP response, preserved as a typed error so
-// callers can branch on the code (409 → resync) without string
-// matching.
-type statusError int
+// callers can branch on the code (409 → resync) and the X-Slate-Reject
+// marker (step down, don't resync) without string matching.
+type statusError struct {
+	code   int
+	reject string
+}
 
-func (e statusError) Error() string { return fmt.Sprintf("status %d", int(e)) }
+func (e statusError) Error() string {
+	if e.reject != "" {
+		return fmt.Sprintf("status %d (%s)", e.code, e.reject)
+	}
+	return fmt.Sprintf("status %d", e.code)
+}
 
 // statusCode extracts the HTTP status from an error chain produced by
 // postJSON, reporting whether one was found.
 func statusCode(err error) (int, bool) {
 	var se statusError
 	if errors.As(err, &se) {
-		return int(se), true
+		return se.code, true
 	}
 	return 0, false
+}
+
+// rejectReason extracts the X-Slate-Reject marker from an error chain
+// ("" when absent): a non-empty marker tells a pusher it was fenced
+// out as a deposed leader rather than merely out of sync.
+func rejectReason(err error) string {
+	var se statusError
+	if errors.As(err, &se) {
+		return se.reject
+	}
+	return ""
 }

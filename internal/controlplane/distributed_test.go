@@ -1,6 +1,8 @@
 package controlplane
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +13,7 @@ import (
 
 	"github.com/servicelayernetworking/slate/internal/core"
 	"github.com/servicelayernetworking/slate/internal/dataplane"
+	"github.com/servicelayernetworking/slate/internal/routing"
 	"github.com/servicelayernetworking/slate/internal/telemetry"
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
@@ -148,4 +151,160 @@ func (r *memResolver) Resolve(svc string, cl topology.ClusterID) (string, error)
 		return u, nil
 	}
 	return "", fmt.Errorf("no %s@%s", svc, cl)
+}
+
+// postRaw posts a JSON body with optional extra headers and returns the
+// response (caller closes).
+func postRaw(t *testing.T, url string, body []byte, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequestWithContext(t.Context(), http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestDeposedLeaderCannotOverwrite is the compare-and-swap safety test:
+// once leadership has moved on, nothing a deposed leader does — a
+// version-tagged patch, a "full resync" push, or a legacy headerless
+// table POST — may ever move a cluster's table backwards.
+func TestDeposedLeaderCannotOverwrite(t *testing.T) {
+	clk := newVclock()
+	const ttl = 10 * time.Second
+	top := topology.TwoClusters(40 * time.Millisecond)
+	mkReplica := func() (*Global, string) {
+		ctrl, err := core.NewController(top, chainApp(), core.ControllerConfig{DemandSmoothing: 1, Decompose: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGlobal(ctrl)
+		srv := httptest.NewServer(g.Handler())
+		t.Cleanup(srv.Close)
+		g.EnableHA(srv.URL, HAConfig{LeaseTTL: ttl, EventThreshold: -1})
+		g.SetNow(clk.Now)
+		return g, srv.URL
+	}
+	gA, urlA := mkReplica()
+	gB, urlB := mkReplica()
+
+	cc := NewCluster(topology.West, "")
+	cc.SetNow(clk.Now)
+	cc.AddUpstream(urlA)
+	cc.AddUpstream(urlB)
+	ccsrv := httptest.NewServer(cc.Handler())
+	t.Cleanup(ccsrv.Close)
+	if err := cc.Register(t.Context(), ccsrv.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	report := func(rps float64) {
+		t.Helper()
+		cc.Ingest([]telemetry.WindowStats{{
+			Key:      telemetry.MetricKey{Service: "gateway", Class: "default", Cluster: string(topology.West)},
+			RPS:      rps,
+			Requests: uint64(rps),
+			Window:   time.Second,
+		}})
+		if err := cc.Report(t.Context(), time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// gA leads at epoch 1 and publishes; gB follows and caches.
+	report(900)
+	if err := gA.HAStep(t.Context()); err != nil {
+		t.Fatalf("gA tick: %v", err)
+	}
+	if err := gB.HAStep(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if !gA.IsLeader() || gB.IsLeader() {
+		t.Fatal("want gA leader, gB follower")
+	}
+	oldTable := cc.Table()
+	if oldTable.Version == 0 {
+		t.Fatal("gA never published")
+	}
+	oldJSON, err := json.Marshal(oldTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The lease lapses; gB takes over at epoch 2 under shifted demand and
+	// publishes a strictly newer table.
+	clk.Advance(ttl + time.Second)
+	report(500)
+	if err := gB.HAStep(t.Context()); err != nil {
+		t.Fatalf("gB takeover tick: %v", err)
+	}
+	if !gB.IsLeader() {
+		t.Fatal("gB did not take over")
+	}
+	newVersion := cc.Table().Version
+	if newVersion <= oldTable.Version {
+		t.Fatalf("gB's table version %d not newer than %d", newVersion, oldTable.Version)
+	}
+
+	// The deposed gA ticks as if nothing happened: its push carries epoch
+	// 1 against a pubEpoch-2 fence and must bounce, leaving the table be.
+	if err := gA.Tick(t.Context()); err == nil {
+		t.Fatal("deposed gA published successfully")
+	}
+	if gA.IsLeader() {
+		t.Fatal("gA did not step down after the fencing rejection")
+	}
+	if got := cc.Table().Version; got != newVersion {
+		t.Fatalf("deposed push moved the table: %d -> %d", newVersion, got)
+	}
+
+	// Even with an acceptable epoch, a FULL resync push carrying an older
+	// table version is CAS-rejected — full patches apply unconditionally
+	// downstream, so the regression must be stopped at the door.
+	stale := routing.FullPatch(oldTable)
+	staleJSON, err := json.Marshal(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := postRaw(t, ccsrv.URL+"/v1/patch", staleJSON, map[string]string{
+		dataplane.HeaderLeaderEpoch: "3",
+	})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || resp.Header.Get(dataplane.HeaderReject) != dataplane.RejectCAS {
+		t.Fatalf("stale full patch: status %d reject %q, want 409 %q",
+			resp.StatusCode, resp.Header.Get(dataplane.HeaderReject), dataplane.RejectCAS)
+	}
+
+	// Same for the legacy full-table endpoint.
+	resp = postRaw(t, ccsrv.URL+"/v1/rules", oldJSON, map[string]string{
+		dataplane.HeaderLeaderEpoch: "3",
+	})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || resp.Header.Get(dataplane.HeaderReject) != dataplane.RejectCAS {
+		t.Fatalf("stale legacy push: status %d reject %q, want 409 %q",
+			resp.StatusCode, resp.Header.Get(dataplane.HeaderReject), dataplane.RejectCAS)
+	}
+
+	// A headerless push on a fenced cluster is rejected outright: every
+	// legitimate publisher in a replicated deployment states its epoch.
+	resp = postRaw(t, ccsrv.URL+"/v1/rules", oldJSON, nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || resp.Header.Get(dataplane.HeaderReject) != dataplane.RejectStaleLeader {
+		t.Fatalf("headerless push: status %d reject %q, want 409 %q",
+			resp.StatusCode, resp.Header.Get(dataplane.HeaderReject), dataplane.RejectStaleLeader)
+	}
+
+	if got := cc.Table().Version; got != newVersion {
+		t.Fatalf("stale pushes moved the table: %d -> %d", newVersion, got)
+	}
 }

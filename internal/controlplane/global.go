@@ -99,6 +99,9 @@ type clusterIngest struct {
 	epoch    uint64
 	stats    map[telemetry.MetricKey]telemetry.WindowStats
 	reported bool // reported since the last tick merged this cluster
+	// lastRPS is the reconstructed window's total RPS after the previous
+	// report, the baseline for event-driven breach detection.
+	lastRPS float64
 }
 
 // ingestStripe is one lock stripe of the sharded ingest map.
@@ -122,6 +125,20 @@ type Global struct {
 	ingest          [ingestStripes]ingestStripe
 	pendingClusters atomic.Int64 // clusters reported since the last tick
 
+	// Replication state (EnableHA; see ha.go). Guarded by mu.
+	haEnabled    bool
+	replica      string
+	haCfg        HAConfig
+	isLeader     bool
+	leaseEpoch   uint64
+	maxSeenEpoch uint64
+	leaderURL    string
+	snapCache    *core.ControllerSnapshot
+	eventArmed   bool
+	eventTokens  int
+	eventCh      chan struct{}
+	now          func() time.Time
+
 	// pushSem (capacity 1) serializes whole push rounds — a semaphore
 	// rather than a mutex because a round blocks on the fan-out's
 	// WaitGroup; sentMu guards the per-cluster shadow of the last
@@ -130,29 +147,37 @@ type Global struct {
 	sentMu  sync.Mutex
 	sent    map[topology.ClusterID]*routing.Table
 
-	metricsH     http.Handler
-	mTicks       *obs.Counter
-	mTickErrs    *obs.Counter
-	mTickDur     *obs.Histogram
-	mPushErrs    *obs.Counter
-	mReports     *obs.Counter
-	mReportErrs  *obs.Counter
-	mEpochGaps   *obs.Counter
-	mTableVer    *obs.Gauge
-	mIterHolds   *obs.Gauge
-	mReverts     *obs.Gauge
-	mWarmSolves  *obs.Gauge
-	mColdSolves  *obs.Gauge
-	mShards      *obs.Gauge
-	mSubSolves   *obs.Gauge
-	mSkipSolves  *obs.Gauge
-	mSearchWins  *obs.Gauge
-	mSimplexWins *obs.Gauge
-	mGapAbandons *obs.Gauge
-	mStaleGroups *obs.Gauge
-	mPushDur     *obs.HistogramVec
-	mPatchBytes  *obs.CounterVec
-	mResyncs     *obs.CounterVec
+	metricsH       http.Handler
+	mTicks         *obs.Counter
+	mTickErrs      *obs.Counter
+	mTickDur       *obs.Histogram
+	mPushErrs      *obs.Counter
+	mReports       *obs.Counter
+	mReportErrs    *obs.Counter
+	mEpochGaps     *obs.Counter
+	mTableVer      *obs.Gauge
+	mIterHolds     *obs.Gauge
+	mReverts       *obs.Gauge
+	mWarmSolves    *obs.Gauge
+	mColdSolves    *obs.Gauge
+	mShards        *obs.Gauge
+	mSubSolves     *obs.Gauge
+	mSkipSolves    *obs.Gauge
+	mSearchWins    *obs.Gauge
+	mSimplexWins   *obs.Gauge
+	mGapAbandons   *obs.Gauge
+	mStaleGroups   *obs.Gauge
+	mLeader        *obs.Gauge
+	mLeaseEpoch    *obs.Gauge
+	mFailovers     *obs.Counter
+	mStepDowns     *obs.Counter
+	mSnapFetches   *obs.Counter
+	mSnapRestores  *obs.Counter
+	mEventBreaches *obs.Counter
+	mEventSolves   *obs.Counter
+	mPushDur       *obs.HistogramVec
+	mPatchBytes    *obs.CounterVec
+	mResyncs       *obs.CounterVec
 }
 
 // NewGlobal wraps a core controller as a daemon, instrumenting into
@@ -165,6 +190,8 @@ func NewGlobal(ctrl *core.Controller) *Global {
 		pushSem:  make(chan struct{}, 1),
 		sent:     make(map[topology.ClusterID]*routing.Table),
 		client:   &http.Client{Timeout: 10 * time.Second},
+		eventCh:  make(chan struct{}, 1),
+		now:      time.Now,
 		metricsH: reg.Handler(),
 		mTicks: reg.Counter("slate_global_ticks_total",
 			"Optimization ticks run (including failed ones)."),
@@ -204,6 +231,22 @@ func NewGlobal(ctrl *core.Controller) *Global {
 			"Cumulative search candidates rejected (infeasible or beyond the configured gap)."),
 		mStaleGroups: reg.Gauge("slate_global_pending_reports",
 			"Clusters that reported telemetry not yet merged by a tick."),
+		mLeader: reg.Gauge("slate_global_is_leader",
+			"1 when this replica holds the leader lease (or runs unreplicated)."),
+		mLeaseEpoch: reg.Gauge("slate_global_lease_epoch",
+			"Leader-lease epoch this replica last campaigned with."),
+		mFailovers: reg.Counter("slate_global_leader_elections_won_total",
+			"Elections this replica won (transitions into leadership)."),
+		mStepDowns: reg.Counter("slate_global_leader_stepdowns_total",
+			"Times this replica relinquished leadership after a fencing rejection."),
+		mSnapFetches: reg.Counter("slate_global_snapshot_fetches_total",
+			"Leader warm-state snapshots fetched while following."),
+		mSnapRestores: reg.Counter("slate_global_snapshot_restores_total",
+			"Cached snapshots restored on winning an election."),
+		mEventBreaches: reg.Counter("slate_global_event_breaches_total",
+			"Telemetry reports whose load swing armed an event-driven re-solve."),
+		mEventSolves: reg.Counter("slate_global_event_solves_total",
+			"Immediate re-solves run outside the scheduled tick."),
 		mPushDur: reg.HistogramVec("slate_global_push_seconds",
 			"Wall time of one rule push to a cluster controller.", nil, "cluster"),
 		mPatchBytes: reg.CounterVec("slate_global_patch_bytes_total",
@@ -238,6 +281,8 @@ func (g *Global) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/optimize", g.handleOptimize)
 	mux.HandleFunc("GET /v1/table", g.handleTable)
 	mux.HandleFunc("GET /v1/status", g.handleStatus)
+	mux.HandleFunc("GET /v1/health", g.handleHealth)
+	mux.HandleFunc("GET /v1/snapshot", g.handleSnapshot)
 	mux.Handle("GET "+obs.MetricsPath, g.metricsH)
 	return mux
 }
@@ -302,6 +347,7 @@ func (g *Global) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		if ci != nil {
 			next.reported = ci.reported
+			next.lastRPS = ci.lastRPS
 		}
 		st.clusters[rep.Cluster] = next
 		ci = next
@@ -310,8 +356,24 @@ func (g *Global) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ci.reported = true
 		g.mStaleGroups.Set(float64(g.pendingClusters.Add(1)))
 	}
+	// Event-driven re-solve trigger: compare the reconstructed window's
+	// total load against the previous report's. Summed in sorted key
+	// order so the total (and hence the breach decision near the
+	// threshold) never depends on map iteration order.
+	lastRPS := ci.lastRPS
+	keys := make([]telemetry.MetricKey, 0, len(ci.stats))
+	for k := range ci.stats {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessMetricKey(keys[i], keys[j]) })
+	var curRPS float64
+	for _, k := range keys {
+		curRPS += ci.stats[k].RPS
+	}
+	ci.lastRPS = curRPS
 	st.mu.Unlock()
 	g.mReports.Inc()
+	g.noteClusterLoad(lastRPS, curRPS)
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -451,7 +513,12 @@ func (g *Global) Tick(ctx context.Context) error {
 	}
 	pushErr := g.push(ctx, table, targets)
 	if pushErr != nil {
+		// Every errored tick counts as a tick error, whichever phase
+		// failed — the push path used to skip this counter, so a wedged
+		// cluster controller left slate_global_tick_errors_total flat
+		// while ticks were in fact failing.
 		g.mPushErrs.Inc()
+		g.mTickErrs.Inc()
 	}
 	g.mTickDur.Observe(time.Since(start).Seconds())
 	return pushErr
@@ -511,6 +578,13 @@ func (g *Global) pushOne(ctx context.Context, c topology.ClusterID, u string, ta
 	if err := g.postPatch(ctx, c, u, patch); err != nil {
 		code, ok := statusCode(err)
 		switch {
+		case ok && code == http.StatusConflict && rejectReason(err) != "":
+			// Fenced out: the cluster promised a higher lease epoch (or a
+			// newer table) to another replica. Resyncing would be exactly
+			// the deposed-leader overwrite the fence exists to stop — step
+			// down and let the next campaign sort out who leads.
+			g.stepDown(rejectReason(err))
+			return err
 		case ok && code == http.StatusConflict:
 			// The cluster is not at the version we believe it is (it
 			// restarted, or a push went missing): resync in full.
@@ -526,7 +600,7 @@ func (g *Global) pushOne(ctx context.Context, c topology.ClusterID, u string, ta
 				return err
 			}
 			g.mPatchBytes.With(string(c)).Add(uint64(len(body)))
-			if err := postJSON(ctx, g.client, u+"/v1/rules", body); err != nil {
+			if err := postJSONHeaders(ctx, g.client, u+"/v1/rules", body, g.publisherHeaders()); err != nil {
 				return err
 			}
 		default:
@@ -540,13 +614,15 @@ func (g *Global) pushOne(ctx context.Context, c topology.ClusterID, u string, ta
 }
 
 // postPatch marshals and posts one patch, accounting its wire bytes.
+// Replicated pushes carry the leader's lease epoch so acceptors can
+// fence out a deposed leader.
 func (g *Global) postPatch(ctx context.Context, c topology.ClusterID, u string, p *routing.Patch) error {
 	body, err := json.Marshal(p)
 	if err != nil {
 		return err
 	}
 	g.mPatchBytes.With(string(c)).Add(uint64(len(body)))
-	return postJSON(ctx, g.client, u+"/v1/patch", body)
+	return postJSONHeaders(ctx, g.client, u+"/v1/patch", body, g.publisherHeaders())
 }
 
 // Run ticks the controller every period until the context is cancelled.

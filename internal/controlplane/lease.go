@@ -1,0 +1,144 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/servicelayernetworking/slate/internal/dataplane"
+)
+
+// Leader election for the replicated control plane.
+//
+// The cluster controllers double as lease acceptors: a global replica
+// becomes leader by holding a TTL lease from a MAJORITY of registered
+// cluster controllers, so two replicas can never both publish (any two
+// majorities intersect) and no extra coordination service is needed —
+// the voters are exactly the processes that must agree on which leader
+// to obey.
+//
+// The protocol is a lease with Paxos-style promise fencing:
+//
+//  1. A candidate campaigns with an epoch strictly above every epoch it
+//     has seen, POSTing /v1/lease to every cluster controller.
+//  2. A cluster grants when the request renews the current holder, or
+//     carries a higher epoch and the current lease has expired (or was
+//     never granted). Granting epoch E also promises to reject every
+//     rule push below E (pubEpoch fence).
+//  3. Majority grants → leadership for the TTL; the leader renews well
+//     inside the TTL and steps down the moment it loses the majority.
+//
+// A deposed leader is therefore harmless twice over: its renewals fail
+// (a newer epoch holds the lease), and its in-flight publishes bounce
+// off the pubEpoch fence with 409 + X-Slate-Reject — including "full
+// resync" pushes, which would otherwise overwrite a newer table.
+
+// LeaseRequest is a candidate's lease acquisition or renewal.
+type LeaseRequest struct {
+	// Candidate identifies the replica — by convention its advertised
+	// base URL, so a denied rival (and anyone reading /v1/health) can
+	// find the leader without extra discovery.
+	Candidate string `json:"candidate"`
+	// Epoch is the candidate's proposed lease epoch. Renewals repeat the
+	// granted epoch; campaigns must exceed every epoch seen.
+	Epoch uint64 `json:"epoch"`
+	// TTLMS is the requested lease duration in milliseconds.
+	TTLMS int64 `json:"ttl_ms"`
+}
+
+// LeaseResponse reports the acceptor's lease state after deciding.
+// Denied candidates learn the current holder and epoch from it.
+type LeaseResponse struct {
+	Granted     bool   `json:"granted"`
+	Holder      string `json:"holder,omitempty"`
+	Epoch       uint64 `json:"epoch"`
+	ExpiresInMS int64  `json:"expires_in_ms"`
+}
+
+// handleLease decides one lease acquisition/renewal. Grant rules:
+// same holder + same epoch renews; a higher epoch takes over only once
+// the current lease has lapsed. Every grant fences pubEpoch forward.
+func (c *Cluster) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Candidate == "" || req.Epoch == 0 || req.TTLMS <= 0 {
+		http.Error(w, "candidate, epoch and ttl_ms required", http.StatusBadRequest)
+		return
+	}
+	now := c.now()
+	ttl := time.Duration(req.TTLMS) * time.Millisecond
+	c.mu.Lock()
+	granted := false
+	switch {
+	case req.Candidate == c.leaseHolder && req.Epoch == c.leaseEpoch:
+		// Renewal by the current holder.
+		c.leaseExpires = now.Add(ttl)
+		granted = true
+	case req.Epoch > c.leaseEpoch && (c.leaseHolder == "" || !now.Before(c.leaseExpires)):
+		// New campaign: the previous lease lapsed (or never existed).
+		c.leaseHolder = req.Candidate
+		c.leaseEpoch = req.Epoch
+		c.leaseExpires = now.Add(ttl)
+		granted = true
+	}
+	if granted && c.leaseEpoch > c.pubEpoch {
+		c.pubEpoch = c.leaseEpoch
+	}
+	resp := LeaseResponse{
+		Granted:     granted,
+		Holder:      c.leaseHolder,
+		Epoch:       c.leaseEpoch,
+		ExpiresInMS: c.leaseExpires.Sub(now).Milliseconds(),
+	}
+	c.mLeaseEpoch.Set(float64(c.leaseEpoch))
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// admitPush enforces the pubEpoch fence on a rule push. It reports
+// whether the request is fenced (carried a leader epoch, so CAS rules
+// apply) and whether it may proceed; a rejected request has already
+// been answered with 409 + X-Slate-Reject: stale-leader.
+//
+// Once any lease has been granted (pubEpoch > 0), headerless pushes are
+// rejected too: under a replicated control plane every legitimate
+// publisher states its epoch, so an anonymous push can only be a
+// leftover single-controller deployment that must not race the elected
+// leader.
+func (c *Cluster) admitPush(w http.ResponseWriter, r *http.Request) (fenced, ok bool) {
+	hdr := r.Header.Get(dataplane.HeaderLeaderEpoch)
+	c.mu.Lock()
+	pubEpoch := c.pubEpoch
+	if hdr == "" {
+		c.mu.Unlock()
+		if pubEpoch > 0 {
+			c.rejectPush(w, dataplane.RejectStaleLeader, "push without leader epoch on a fenced cluster")
+			return false, false
+		}
+		return false, true
+	}
+	epoch, err := strconv.ParseUint(hdr, 10, 64)
+	if err != nil || epoch < pubEpoch {
+		c.mu.Unlock()
+		c.rejectPush(w, dataplane.RejectStaleLeader, "leader epoch below fence")
+		return true, false
+	}
+	if epoch > c.pubEpoch {
+		c.pubEpoch = epoch
+	}
+	c.mu.Unlock()
+	return true, true
+}
+
+// rejectPush answers 409 with the X-Slate-Reject marker that tells the
+// pusher to step down instead of resyncing.
+func (c *Cluster) rejectPush(w http.ResponseWriter, reason, msg string) {
+	c.mStaleRejects.Inc()
+	w.Header().Set(dataplane.HeaderReject, reason)
+	http.Error(w, msg, http.StatusConflict)
+}

@@ -89,6 +89,11 @@ type ControllerConfig struct {
 type planner interface {
 	Optimize(demand Demand, profiles Profiles, version uint64) (*Plan, error)
 	Stats() OptimizerStats
+	// snapshotState / restoreState carry the optimizer's warm state
+	// (simplex bases, shard fingerprints, cached sub-plans) across a
+	// controller failover.
+	snapshotState() *OptimizerSnapshot
+	restoreState(*OptimizerSnapshot) error
 }
 
 // Controller is SLATE's global controller: it ingests telemetry windows,
@@ -166,6 +171,12 @@ func NewController(top *topology.Topology, app *appgraph.App, cfg ControllerConf
 
 // Table returns the currently published routing table.
 func (c *Controller) Table() *routing.Table { return c.cur }
+
+// Version returns the controller's monotonically increasing
+// optimization-attempt counter (the version the next plan will carry).
+// Snapshot freshness comparisons use it: it advances on every attempted
+// solve, so a larger value always means strictly newer warm state.
+func (c *Controller) Version() uint64 { return c.version }
 
 // Demand returns the controller's current demand estimate.
 func (c *Controller) Demand() Demand { return c.demand }

@@ -30,7 +30,13 @@ type Optimizer struct {
 	solver *lp.Solver
 	f      *formulation
 	basis  []int
-	stats  OptimizerStats
+	// restored holds a basis carried over from a warm-state snapshot.
+	// It installs on the first solve *after* ensure has built the
+	// formulation (build resets o.basis, which would wipe a restored
+	// basis installed any earlier), then clears: if the first solve
+	// cannot use it, the state it captured is already stale.
+	restored []int
+	stats    OptimizerStats
 }
 
 // OptimizerStats counts how the optimizer's solves were served.
@@ -88,6 +94,15 @@ func (o *Optimizer) Optimize(demand Demand, profiles Profiles, version uint64) (
 	if err := o.ensure(demand, profiles); err != nil {
 		return nil, err
 	}
+	if o.basis == nil && o.restored != nil {
+		// First solve after a snapshot restore: the LP column order is a
+		// deterministic function of (topology, app, config), so a basis
+		// serialized by another process warm-starts this one's freshly
+		// built formulation. A stale basis is harmless — the solver
+		// falls back to a cold solve if it does not install.
+		o.basis = o.restored
+	}
+	o.restored = nil
 	sol, err := o.solver.SolveFrom(o.f.model, o.basis)
 	if err != nil {
 		return nil, fmt.Errorf("core: solving routing LP: %w", err)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/servicelayernetworking/slate/internal/obs"
@@ -21,6 +22,30 @@ import (
 // have gone silent and exclude their stale windows from the global
 // snapshot.
 const HeaderSource = "X-Slate-Source"
+
+// Replicated-control-plane wire headers. They live in this package —
+// the bottom of the control-plane import graph — because both the
+// cluster controller (which enforces them) and the Agent (which
+// observes them) need the names.
+const (
+	// HeaderLeaderEpoch carries the publishing leader's lease epoch on
+	// rule pushes (requests) and the accepting controller's fenced epoch
+	// on rule reads (responses). A push whose epoch is below the fenced
+	// one is rejected: the sender was deposed.
+	HeaderLeaderEpoch = "X-Slate-Leader-Epoch"
+	// HeaderLeader carries the publishing leader's identity (its
+	// advertised URL) on rule pushes.
+	HeaderLeader = "X-Slate-Leader"
+	// HeaderReject distinguishes 409 rejections: RejectStaleLeader and
+	// RejectCAS mean "step down", a bare 409 means "version gap, resync".
+	HeaderReject = "X-Slate-Reject"
+	// RejectStaleLeader marks a push refused because its lease epoch is
+	// below the fenced one.
+	RejectStaleLeader = "stale-leader"
+	// RejectCAS marks a push refused because it would replace the table
+	// with an older version.
+	RejectCAS = "cas"
+)
 
 // AgentOptions tunes the Agent's fault tolerance. The zero value gets
 // production defaults.
@@ -97,6 +122,11 @@ type Agent struct {
 	client     *http.Client
 
 	lastVersion uint64
+	// leaderEpoch is the control plane's fenced leader epoch as last
+	// reported on a rules response; failovers counts observed changes.
+	// Only touched from Sync (one goroutine), so no lock.
+	leaderEpoch uint64
+	failovers   int
 	// pending holds flushed-but-unacknowledged telemetry windows.
 	// Only touched from Sync (one goroutine), so no lock.
 	pending [][]telemetry.WindowStats
@@ -105,10 +135,11 @@ type Agent struct {
 	// sleep is swapped by tests to avoid real backoff waits.
 	sleep func(ctx context.Context, d time.Duration) error
 
-	mRetries *obs.Counter
-	mDropped *obs.Counter
-	mResyncs *obs.Counter
-	mPending *obs.Gauge
+	mRetries   *obs.Counter
+	mDropped   *obs.Counter
+	mResyncs   *obs.Counter
+	mFailovers *obs.Counter
+	mPending   *obs.Gauge
 }
 
 // NewAgent wires a proxy to a cluster controller base URL with default
@@ -144,6 +175,9 @@ func NewAgentOpts(p *Proxy, clusterURL string, opts AgentOptions) (*Agent, error
 		mResyncs: reg.CounterVec("slate_agent_rule_resyncs_total",
 			"Rule polls that fell back to a full-table fetch after a patch version gap.",
 			"service", "cluster").With(svc, cl),
+		mFailovers: reg.CounterVec("slate_agent_leader_failovers_total",
+			"Leader-epoch changes observed on rule polls.",
+			"service", "cluster").With(svc, cl),
 		mPending: reg.GaugeVec("slate_agent_pending_windows",
 			"Telemetry windows queued awaiting a successful push.",
 			"service", "cluster").With(svc, cl),
@@ -160,6 +194,14 @@ func (a *Agent) PendingWindows() int { return len(a.pending) }
 // DroppedWindows returns how many telemetry windows were evicted
 // because the controller stayed unreachable past the pending cap.
 func (a *Agent) DroppedWindows() int { return a.droppedWindows }
+
+// LeaderEpoch returns the control plane's leader epoch as last observed
+// on a rules response (0 until a replicated control plane reports one).
+func (a *Agent) LeaderEpoch() uint64 { return a.leaderEpoch }
+
+// LeaderFailovers returns how many leader-epoch changes the agent has
+// observed on rule polls.
+func (a *Agent) LeaderFailovers() int { return a.failovers }
 
 // Sync performs one round: upload the telemetry accumulated since the
 // last round (plus any re-queued windows from failed rounds), then
@@ -238,9 +280,22 @@ func (a *Agent) pushTelemetry(ctx context.Context) error {
 // the proxy's rules fresh, even when the version is unchanged —
 // freshness means "the controller answered", not "the rules changed".
 func (a *Agent) pollRules(ctx context.Context) error {
-	body, err := a.getRules(ctx, fmt.Sprintf("?since=%d", a.proxy.TableVersion()))
+	body, epoch, err := a.getRules(ctx, fmt.Sprintf("?since=%d", a.proxy.TableVersion()))
 	if err != nil {
 		return fmt.Errorf("dataplane: agent poll: %w", err)
+	}
+	if epoch > 0 && epoch != a.leaderEpoch {
+		// The control plane elected a new leader since the last poll.
+		// A resync (rather than trusting the incremental answer) pins
+		// the proxy to the new leader's table even if the poll raced a
+		// leadership change mid-flight.
+		first := a.leaderEpoch == 0
+		a.leaderEpoch = epoch
+		if !first {
+			a.failovers++
+			a.mFailovers.Inc()
+			return a.resyncRules(ctx)
+		}
 	}
 	var probe struct {
 		Rules json.RawMessage `json:"rules"`
@@ -275,12 +330,16 @@ func (a *Agent) pollRules(ctx context.Context) error {
 	return nil
 }
 
-// resyncRules refetches the full table after a patch failed to apply.
+// resyncRules refetches the full table after a patch failed to apply
+// or a leader failover was observed.
 func (a *Agent) resyncRules(ctx context.Context) error {
 	a.mResyncs.Inc()
-	body, err := a.getRules(ctx, "")
+	body, epoch, err := a.getRules(ctx, "")
 	if err != nil {
 		return fmt.Errorf("dataplane: agent resync: %w", err)
+	}
+	if epoch > 0 {
+		a.leaderEpoch = epoch
 	}
 	var table routing.Table
 	if err := json.Unmarshal(body, &table); err != nil {
@@ -304,9 +363,11 @@ func (a *Agent) applyTable(table *routing.Table) {
 }
 
 // getRules performs one (retried) GET of the controller's rules
-// endpoint and returns the raw response body.
-func (a *Agent) getRules(ctx context.Context, query string) ([]byte, error) {
+// endpoint and returns the raw response body plus the leader epoch the
+// controller advertised (0 when it did not).
+func (a *Agent) getRules(ctx context.Context, query string) ([]byte, uint64, error) {
 	var body []byte
+	var epoch uint64
 	err := a.withRetries(ctx, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, a.clusterURL+"/v1/rules"+query, nil)
 		if err != nil {
@@ -321,10 +382,15 @@ func (a *Agent) getRules(ctx context.Context, query string) ([]byte, error) {
 			io.Copy(io.Discard, resp.Body)
 			return fmt.Errorf("status %d", resp.StatusCode)
 		}
+		if h := resp.Header.Get(HeaderLeaderEpoch); h != "" {
+			if e, perr := strconv.ParseUint(h, 10, 64); perr == nil {
+				epoch = e
+			}
+		}
 		body, err = io.ReadAll(resp.Body)
 		return err
 	})
-	return body, err
+	return body, epoch, err
 }
 
 // withRetries runs op up to 1+MaxRetries times with exponential

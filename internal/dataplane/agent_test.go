@@ -2,9 +2,11 @@ package dataplane
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 	"time"
 
@@ -101,5 +103,95 @@ func TestAgentValidation(t *testing.T) {
 	p, _ := newProxy(t, "svc", topology.West, app.URL, reg, nil)
 	if _, err := NewAgent(p, "", time.Second); err == nil {
 		t.Error("empty URL accepted")
+	}
+}
+
+// TestAgentLeaderFailoverResync: a change in the X-Slate-Leader-Epoch
+// header advertised by the cluster controller means the control plane
+// elected a new leader. The agent must count the failover and refetch
+// the FULL table rather than trust an incremental answer that may have
+// raced the leadership change.
+func TestAgentLeaderFailoverResync(t *testing.T) {
+	tableV5 := routing.NewTable(5, map[routing.Key]routing.Distribution{
+		{Service: "callee", Class: routing.AnyClass, Cluster: topology.West}: routing.Local(topology.West),
+	})
+	tableV6 := routing.NewTable(6, map[routing.Key]routing.Distribution{
+		{Service: "callee", Class: routing.AnyClass, Cluster: topology.West}: routing.Local(topology.East),
+	})
+	var (
+		epoch       uint64 = 1
+		current            = tableV5
+		fullFetches int
+	)
+	cc := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/metrics":
+			io.Copy(io.Discard, r.Body)
+			w.WriteHeader(http.StatusAccepted)
+		case "/v1/rules":
+			w.Header().Set("X-Slate-Leader-Epoch", strconv.FormatUint(epoch, 10))
+			w.Header().Set("Content-Type", "application/json")
+			if r.URL.Query().Get("since") == "" {
+				fullFetches++
+				body, _ := current.MarshalJSON()
+				w.Write(body)
+				return
+			}
+			// Incremental answer: a full patch up to the current table (the
+			// shape a poller that fell behind the history window gets).
+			body, _ := json.Marshal(routing.FullPatch(current))
+			w.Write(body)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer cc.Close()
+
+	reg := newRegistry()
+	app := echoApp(t, "app")
+	p, _ := newProxy(t, "svc", topology.West, app.URL, reg, nil)
+	agent, err := NewAgent(p, cc.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First poll: the agent learns the current epoch — joining an
+	// already-elected control plane is not a failover.
+	if err := agent.Sync(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if p.TableVersion() != 5 {
+		t.Fatalf("table version = %d, want 5", p.TableVersion())
+	}
+	if agent.LeaderEpoch() != 1 || agent.LeaderFailovers() != 0 {
+		t.Fatalf("epoch %d failovers %d, want 1 and 0",
+			agent.LeaderEpoch(), agent.LeaderFailovers())
+	}
+
+	// Steady state under the same leader: no failover, no full fetch.
+	if err := agent.Sync(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if agent.LeaderFailovers() != 0 || fullFetches != 0 {
+		t.Fatalf("failovers %d fullFetches %d after steady poll, want 0 and 0",
+			agent.LeaderFailovers(), fullFetches)
+	}
+
+	// Leadership moves: epoch bumps and the new leader publishes v6. The
+	// next poll must resync in full and land on the new leader's table.
+	epoch = 2
+	current = tableV6
+	if err := agent.Sync(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if p.TableVersion() != 6 {
+		t.Fatalf("table version = %d, want 6 after failover resync", p.TableVersion())
+	}
+	if agent.LeaderFailovers() != 1 || agent.LeaderEpoch() != 2 {
+		t.Fatalf("failovers %d epoch %d, want 1 and 2",
+			agent.LeaderFailovers(), agent.LeaderEpoch())
+	}
+	if fullFetches != 1 {
+		t.Fatalf("full fetches = %d, want exactly 1 (the failover resync)", fullFetches)
 	}
 }

@@ -64,6 +64,15 @@ type Options struct {
 	// global snapshot, and proxies degrade to local-biased routing when
 	// their rules have not been refreshed within it. Zero disables both.
 	StaleAfter time.Duration
+	// Replicas > 1 runs a replicated global control plane: N global
+	// controllers (fault targets "global:0" … "global:N-1") contend for
+	// the leader lease held by the cluster controllers, which report
+	// telemetry to all of them. TickControl then drives one HAStep per
+	// live replica, in replica order. Zero or one keeps the classic
+	// single controller under the "global" target.
+	Replicas int
+	// HA tunes the replicated control plane (only read when Replicas > 1).
+	HA controlplane.HAConfig
 }
 
 // Mesh is a running emulated deployment. Close it when done.
@@ -77,9 +86,11 @@ type Mesh struct {
 	lns      []net.Listener
 	proxies  map[poolID]*dataplane.Proxy
 	ccs      map[topology.ClusterID]*controlplane.Cluster
-	global   *controlplane.Global
+	global   *controlplane.Global // replica 0
+	globals  []*controlplane.Global
 	gsrv     *http.Server
-	gURL     string
+	gURL     string // replica 0's URL
+	gURLs    []string
 	ctx      context.Context
 	cancel   context.CancelFunc
 	stopCtrl chan struct{}
@@ -147,25 +158,47 @@ func Start(opts Options) (*Mesh, error) {
 	// regardless of the map-iteration order pools start in.
 	rng := sim.NewRNG(opts.Seed)
 
-	// Global controller.
-	ctrl, err := core.NewController(opts.Top, opts.App, opts.Controller)
-	if err != nil {
-		return nil, err
+	// Global controller(s). With Replicas > 1 each replica is its own
+	// fault target and advertises its URL as its lease identity.
+	replicas := opts.Replicas
+	if replicas < 1 {
+		replicas = 1
 	}
-	m.global = controlplane.NewGlobal(ctrl)
-	gURL, gsrv, err := m.serveTarget(m.global.Handler(), fault.Global)
-	if err != nil {
-		m.Close()
-		return nil, err
-	}
-	m.gURL, m.gsrv = gURL, gsrv
-	if opts.Fault != nil {
-		m.global.SetTransport(fault.NewTransport(nil, opts.Fault, fault.Global, m.hosts))
+	for i := 0; i < replicas; i++ {
+		ctrl, err := core.NewController(opts.Top, opts.App, opts.Controller)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		g := controlplane.NewGlobal(ctrl)
+		target := fault.Global
+		if replicas > 1 {
+			target = fault.GlobalReplica(i)
+		}
+		gURL, gsrv, err := m.serveTarget(g.Handler(), target)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		if replicas > 1 {
+			g.EnableHA(gURL, opts.HA)
+		}
+		if opts.Fault != nil {
+			g.SetTransport(fault.NewTransport(nil, opts.Fault, target, m.hosts))
+		}
+		m.globals = append(m.globals, g)
+		m.gURLs = append(m.gURLs, gURL)
+		if i == 0 {
+			m.global, m.gURL, m.gsrv = g, gURL, gsrv
+		}
 	}
 
-	// Cluster controllers.
+	// Cluster controllers, reporting to (and voting for) every replica.
 	for _, cl := range opts.Top.ClusterIDs() {
-		cc := controlplane.NewCluster(cl, gURL)
+		cc := controlplane.NewCluster(cl, m.gURLs[0])
+		for _, u := range m.gURLs[1:] {
+			cc.AddUpstream(u)
+		}
 		if opts.StaleAfter > 0 {
 			cc.SetStaleAfter(opts.StaleAfter)
 		}
@@ -256,6 +289,25 @@ func (m *Mesh) TickControl(window time.Duration) error {
 			errs = append(errs, err)
 		}
 	}
+	if len(m.globals) > 1 {
+		// Replicated control plane: every live replica steps (campaign,
+		// then tick or snapshot-fetch); crashed replicas simply miss their
+		// step, exactly like a dead process misses its timer.
+		live := 0
+		for i, g := range m.globals {
+			if f := m.opts.Fault; f != nil && f.IsDown(fault.GlobalReplica(i)) {
+				continue
+			}
+			live++
+			if err := g.HAStep(m.ctx); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if live == 0 {
+			errs = append(errs, fmt.Errorf("emul: all global replicas down, optimization skipped"))
+		}
+		return errors.Join(errs...)
+	}
 	if f := m.opts.Fault; f != nil && f.IsDown(fault.Global) {
 		errs = append(errs, fmt.Errorf("emul: global controller down, optimization skipped"))
 		return errors.Join(errs...)
@@ -292,6 +344,19 @@ func (m *Mesh) CrashCluster(cl topology.ClusterID) {
 func (m *Mesh) RestartCluster(cl topology.ClusterID) {
 	if m.opts.Fault != nil {
 		m.opts.Fault.Restart(fault.ClusterTarget(cl))
+	}
+}
+
+// SetNow overrides the control plane's clock — every global replica and
+// cluster controller reads lease deadlines from it. Experiments advance
+// a virtual clock one control period per round so leader-failover
+// timing is deterministic regardless of wall-clock speed.
+func (m *Mesh) SetNow(now func() time.Time) {
+	for _, g := range m.globals {
+		g.SetNow(now)
+	}
+	for _, cc := range m.ccs {
+		cc.SetNow(now)
 	}
 }
 
@@ -333,8 +398,42 @@ func (m *Mesh) DrainSpans() []telemetry.Span {
 	return out
 }
 
-// GlobalURL returns the global controller's API base URL.
+// GlobalURL returns the global controller's API base URL (replica 0
+// when replicated).
 func (m *Mesh) GlobalURL() string { return m.gURL }
+
+// Globals returns every global-controller replica (one element without
+// Options.Replicas).
+func (m *Mesh) Globals() []*controlplane.Global { return m.globals }
+
+// GlobalLeader returns the replica currently holding the leader lease,
+// or nil when no replica leads (mid-failover, or all crashed).
+func (m *Mesh) GlobalLeader() *controlplane.Global {
+	for i, g := range m.globals {
+		if f := m.opts.Fault; f != nil && len(m.globals) > 1 && f.IsDown(fault.GlobalReplica(i)) {
+			continue
+		}
+		if g.IsLeader() {
+			return g
+		}
+	}
+	return nil
+}
+
+// CrashGlobalReplica takes one global replica down (no-op without
+// Options.Fault or outside replicated mode).
+func (m *Mesh) CrashGlobalReplica(i int) {
+	if m.opts.Fault != nil && i >= 0 && i < len(m.globals) {
+		m.opts.Fault.Crash(fault.GlobalReplica(i))
+	}
+}
+
+// RestartGlobalReplica brings a crashed global replica back.
+func (m *Mesh) RestartGlobalReplica(i int) {
+	if m.opts.Fault != nil && i >= 0 && i < len(m.globals) {
+		m.opts.Fault.Restart(fault.GlobalReplica(i))
+	}
+}
 
 // ClusterStats returns the last telemetry window the cluster controller
 // collected (populated by TickControl / the background control loop).

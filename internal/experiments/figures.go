@@ -447,6 +447,7 @@ func All() map[string]func(Options) (*Figure, error) {
 		"scalability":        Scalability,
 		"autoscaler":         AutoscalerInteraction,
 		"chaos":              Chaos,
+		"hachaos":            HAChaos,
 		"pardes":             ParallelDES,
 		"regret":             Regret,
 		"pardes-1m":          ParallelDES1M,

@@ -21,6 +21,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -38,6 +39,13 @@ type Target string
 
 // Global is the global controller's target name.
 const Global Target = "global"
+
+// GlobalReplica names one replica of a replicated global controller
+// (replica 0 is "global:0", and so on). The unreplicated Global target
+// remains its own name for backward compatibility.
+func GlobalReplica(i int) Target {
+	return Target("global:" + strconv.Itoa(i))
+}
 
 // ClusterTarget names a cluster controller.
 func ClusterTarget(id topology.ClusterID) Target {

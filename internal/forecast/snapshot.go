@@ -1,0 +1,87 @@
+package forecast
+
+import "sort"
+
+// Warm-state snapshot/restore. A freshly elected global-controller
+// replica that restores the deposed leader's forecaster state predicts
+// exactly what the old leader would have predicted, so the first
+// post-failover plan demand — and therefore the shard fingerprints and
+// the published table — match bit for bit. Floats survive the JSON
+// round trip exactly (Go's encoder emits the shortest representation
+// that parses back to the same bits).
+
+// KeyState is one demand stream's smoothing state in a Snapshot.
+type KeyState struct {
+	Class   string    `json:"class"`
+	Cluster string    `json:"cluster"`
+	Epoch   uint64    `json:"epoch"`
+	N       int       `json:"n"`
+	Last    float64   `json:"last"`
+	Level   float64   `json:"level"`
+	Trend   float64   `json:"trend"`
+	Season  []float64 `json:"season,omitempty"`
+}
+
+// Snapshot is a Forecaster's complete serializable state. Keys are
+// sorted by (Class, Cluster) so encoding a snapshot is deterministic.
+type Snapshot struct {
+	Epoch uint64     `json:"epoch"`
+	Keys  []KeyState `json:"keys,omitempty"`
+}
+
+// Snapshot captures the forecaster's state for snapshot/restore.
+func (f *Forecaster) Snapshot() *Snapshot {
+	snap := &Snapshot{Epoch: f.epoch}
+	keys := make([]Key, 0, len(f.states))
+	for k := range f.states {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Class != keys[j].Class {
+			return keys[i].Class < keys[j].Class
+		}
+		return keys[i].Cluster < keys[j].Cluster
+	})
+	for _, k := range keys {
+		s := f.states[k]
+		ks := KeyState{
+			Class:   k.Class,
+			Cluster: k.Cluster,
+			Epoch:   s.epoch,
+			N:       s.n,
+			Last:    s.last,
+			Level:   s.level,
+			Trend:   s.trend,
+		}
+		if len(s.season) > 0 {
+			ks.Season = append([]float64(nil), s.season...)
+		}
+		snap.Keys = append(snap.Keys, ks)
+	}
+	return snap
+}
+
+// Restore replaces the forecaster's state with a snapshot's. Keys whose
+// seasonal-index length does not match the configured SeasonLength are
+// dropped (the snapshot was taken under a different configuration);
+// they warm up from scratch like any new stream.
+func (f *Forecaster) Restore(snap *Snapshot) {
+	f.states = make(map[Key]*state, len(snap.Keys))
+	f.epoch = snap.Epoch
+	for _, ks := range snap.Keys {
+		if len(ks.Season) != f.cfg.SeasonLength {
+			continue
+		}
+		s := &state{
+			epoch: ks.Epoch,
+			n:     ks.N,
+			last:  sanitize(ks.Last),
+			level: ks.Level,
+			trend: ks.Trend,
+		}
+		if len(ks.Season) > 0 {
+			s.season = append([]float64(nil), ks.Season...)
+		}
+		f.states[Key{Class: ks.Class, Cluster: ks.Cluster}] = s
+	}
+}

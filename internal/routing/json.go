@@ -3,6 +3,8 @@ package routing
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"sort"
 
 	"github.com/servicelayernetworking/slate/internal/topology"
 )
@@ -44,7 +46,7 @@ func (t *Table) UnmarshalJSON(data []byte) error {
 	}
 	rules := make(map[Key]Distribution, len(wt.Rules))
 	for _, r := range wt.Rules {
-		d, err := NewDistribution(r.Weights)
+		d, err := restoreDistribution(r.Weights)
 		if err != nil {
 			return fmt.Errorf("routing: rule %s[%s]@%s: %w", r.Service, r.Class, r.Cluster, err)
 		}
@@ -53,4 +55,40 @@ func (t *Table) UnmarshalJSON(data []byte) error {
 	t.Version = wt.Version
 	t.rules = rules
 	return nil
+}
+
+// restoreDistribution rebuilds a distribution from wire weights. Wire
+// weights come from Weights() and are therefore already normalized;
+// they are adopted verbatim so a marshal/unmarshal round trip is
+// bit-exact — renormalizing would perturb the last ulp whenever the
+// float sum of normalized weights lands off 1.0, and the warm-state
+// snapshot/restore path depends on a restored leader republishing
+// bit-identical tables. Weights that are not normalized (hand-written
+// JSON, non-SLATE peers) fall back to the normalizing constructor.
+func restoreDistribution(weights map[topology.ClusterID]float64) (Distribution, error) {
+	var d Distribution
+	for c, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return NewDistribution(weights) // surface the constructor's error
+		}
+		if w > 0 {
+			d.clusters = append(d.clusters, c)
+		}
+	}
+	if len(d.clusters) == 0 {
+		return NewDistribution(weights)
+	}
+	sort.Slice(d.clusters, func(i, j int) bool { return d.clusters[i] < d.clusters[j] })
+	var sum float64
+	for _, c := range d.clusters {
+		sum += weights[c]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return NewDistribution(weights)
+	}
+	d.weights = make([]float64, len(d.clusters))
+	for i, c := range d.clusters {
+		d.weights[i] = weights[c]
+	}
+	return d, nil
 }

@@ -19,14 +19,17 @@
 #
 # Micro benchmarks run long enough for stable ns/op; figure benchmarks
 # run once (-benchtime=1x) — their payload is the reported Summary
-# metrics, which are deterministic, not their wall time.
+# metrics, which are deterministic, not their wall time. With
+# BENCH_COUNT > 1 the snapshot keeps the best (min ns/op) repetition
+# per benchmark — the minimum is the least scheduler-noise-contaminated
+# estimate of the true cost, so noisy machines stop tripping the gate.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-MICRO='^(BenchmarkOptimizerSolve|BenchmarkRobustSolve|BenchmarkSimplexTransportation|BenchmarkDESThroughput|BenchmarkRoutingPick|BenchmarkHistogramRecord|BenchmarkMMcSojourn|BenchmarkSearchReoptimize|BenchmarkForecastObserve|BenchmarkForecastPredict)'
-FIGURES='^(BenchmarkFig|BenchmarkHeadline|BenchmarkAblation|BenchmarkBurstReaction|BenchmarkScalability|BenchmarkAutoscalerInteraction|BenchmarkChaos|BenchmarkParallelDES|BenchmarkRegret)'
+MICRO='^(BenchmarkOptimizerSolve|BenchmarkRobustSolve|BenchmarkSimplexTransportation|BenchmarkDESThroughput|BenchmarkRoutingPick|BenchmarkHistogramRecord|BenchmarkMMcSojourn|BenchmarkSearchReoptimize|BenchmarkForecastObserve|BenchmarkForecastPredict|BenchmarkSnapshotEncode|BenchmarkSnapshotRestore|BenchmarkEventSolve)'
+FIGURES='^(BenchmarkFig|BenchmarkHeadline|BenchmarkAblation|BenchmarkBurstReaction|BenchmarkScalability|BenchmarkAutoscalerInteraction|BenchmarkChaos|BenchmarkParallelDES|BenchmarkRegret|BenchmarkHAChaos)'
 
 OUT=""
 BASELINE=""
@@ -58,8 +61,9 @@ go test -run '^$' -bench "$FIGURES" -benchmem -benchtime=1x . >>"$raw"
 #   BenchmarkName-8  N  12.3 ns/op  4 B/op  2 allocs/op  7.5 some_metric
 # i.e. name, iteration count, then (value, unit) pairs; units other than
 # ns/op / B/op / allocs/op are custom b.ReportMetric figure metrics.
+# Repeated lines for the same benchmark (-count > 1) collapse to the one
+# with the lowest ns/op.
 json=$(awk '
-BEGIN { printed = 0 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -76,16 +80,28 @@ BEGIN { printed = 0 }
             metrics = metrics sprintf("\"%s\": %s", unit, val)
         }
     }
-    if (printed) printf(",\n")
-    printf("    {\"name\": \"%s\", \"iters\": %s", name, iters)
-    if (ns != "")     printf(", \"ns_op\": %s", ns)
-    if (bytes != "")  printf(", \"b_op\": %s", bytes)
-    if (allocs != "") printf(", \"allocs_op\": %s", allocs)
-    if (metrics != "") printf(", \"metrics\": {%s}", metrics)
-    printf("}")
-    printed = 1
+    if (!(name in best_ns) || ns + 0 < best_ns[name] + 0) {
+        if (!(name in best_ns)) order[++n] = name
+        best_ns[name] = ns
+        best_iters[name] = iters
+        best_bytes[name] = bytes
+        best_allocs[name] = allocs
+        best_metrics[name] = metrics
+    }
 }
-END { printf("\n") }
+END {
+    for (k = 1; k <= n; k++) {
+        name = order[k]
+        if (k > 1) printf(",\n")
+        printf("    {\"name\": \"%s\", \"iters\": %s", name, best_iters[name])
+        if (best_ns[name] != "")      printf(", \"ns_op\": %s", best_ns[name])
+        if (best_bytes[name] != "")   printf(", \"b_op\": %s", best_bytes[name])
+        if (best_allocs[name] != "")  printf(", \"allocs_op\": %s", best_allocs[name])
+        if (best_metrics[name] != "") printf(", \"metrics\": {%s}", best_metrics[name])
+        printf("}")
+    }
+    printf("\n")
+}
 ' "$raw")
 
 nbench=$(printf '%s\n' "$json" | grep -c '"name"' || true)

@@ -44,6 +44,9 @@ var pinned = []string{
 	"BenchmarkSearchReoptimize",
 	"BenchmarkForecastObserve",
 	"BenchmarkForecastPredict",
+	"BenchmarkSnapshotEncode",
+	"BenchmarkSnapshotRestore",
+	"BenchmarkEventSolve",
 }
 
 // Snapshot mirrors the JSON bench.sh emits.
